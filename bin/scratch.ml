@@ -1,0 +1,1 @@
+let () = Ss_prelude.Table.print (Ss_expt.Ablation_expt.rows (Ss_prelude.Rng.create 7))
