@@ -1,0 +1,165 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   and then times the hot paths of the implementation with Bechamel.
+
+   Paper artefacts reproduced (see DESIGN.md §3 and EXPERIMENTS.md):
+     Table 1 (lazy / greedy / error-recovery / space rows),
+     §5.1 leader election, §5.2 BFS tree, §5.3 Cole-Vishkin,
+     §6 message/energy accounting,
+     §7 + Figure 1 rollback exponential blow-up vs the transformer.
+
+   Run with: dune exec bench/main.exe *)
+
+module Rng = Ss_prelude.Rng
+module Table = Ss_prelude.Table
+module G = Ss_graph
+module Sim = Ss_sim
+module Core = Ss_core
+module P = Ss_core.Predicates
+
+let seeds = [ 1; 2 ]
+let fresh_rng () = Rng.create 7
+
+let section title f =
+  let t0 = Unix.gettimeofday () in
+  let table = f () in
+  Printf.printf "== %s  [%.1fs] ==\n%!" title (Unix.gettimeofday () -. t0);
+  Table.print table
+
+let experiment_tables () =
+  print_endline "#### Paper experiment reproduction ####";
+  print_newline ();
+  section "Table 1 / lazy mode: moves vs n^3+nT, rounds vs D+T" (fun () ->
+      Ss_expt.Table1.lazy_rows ~seeds (fresh_rng ()));
+  section "Table 1 / greedy mode: rounds scale with B" (fun () ->
+      Ss_expt.Table1.greedy_rows ~seeds (fresh_rng ()));
+  section "Table 1 / error recovery: rounds vs min(D,B)" (fun () ->
+      Ss_expt.Table1.recovery_rows ~seeds (fresh_rng ()));
+  section "Table 1 / space: per-node bits vs B*S" (fun () ->
+      Ss_expt.Table1.space_rows ~seeds (fresh_rng ()));
+  section "§5.1 leader election instance" (fun () ->
+      Ss_expt.Instances.leader_rows ~seeds (fresh_rng ()));
+  section "§5.2 BFS spanning tree instance" (fun () ->
+      Ss_expt.Instances.bfs_rows ~seeds (fresh_rng ()));
+  section "§5.3 Cole-Vishkin ring 3-coloring instance" (fun () ->
+      Ss_expt.Instances.cv_rows ~seeds (fresh_rng ()));
+  section "shortest-path tree instance (Bellman-Ford input)" (fun () ->
+      Ss_expt.Instances.shortest_path_rows ~seeds (fresh_rng ()));
+  section "§6 energy: full-state vs delta encodings" (fun () ->
+      Ss_expt.Energy_expt.rows ~seeds (fresh_rng ()));
+  section "§7 / Figure 1: rollback exponential blow-up (validated Gamma_k)"
+    (fun () -> Ss_expt.Blowup_expt.rows ~max_k:10 ());
+  section "ablation: each rule mechanism is load-bearing" (fun () ->
+      Ss_expt.Ablation_expt.rows ~seeds:[ 1; 2 ] (fresh_rng ()));
+  section "§6 end-to-end: transformer over message passing" (fun () ->
+      Ss_expt.Msgnet_expt.rows ~seeds (fresh_rng ()));
+  section "baseline: hand-crafted min+1 BFS vs transformed BFS" (fun () ->
+      Ss_expt.Baselines_expt.bfs_rows ~seeds (fresh_rng ()));
+  section "baseline: Dijkstra's token ring [27] (non-silent reference)"
+    (fun () -> Ss_expt.Baselines_expt.dijkstra_rows (fresh_rng ()));
+  section "locality: generic LOCAL simulation, space = Theta(Delta^r) * B"
+    (fun () -> Ss_expt.Locality_expt.rows (fresh_rng ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot paths                           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_sync_runner () =
+  let g = G.Builders.cycle 32 in
+  let rng = Rng.create 1 in
+  let inputs = Ss_algos.Leader_election.random_ids rng g in
+  fun () ->
+    ignore (Ss_sync.Sync_runner.run Ss_algos.Leader_election.algo g ~inputs)
+
+let bench_engine_step () =
+  let g = G.Builders.cycle 32 in
+  let rng = Rng.create 2 in
+  let inputs = Ss_algos.Leader_election.random_ids rng g in
+  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+  let algo = Core.Transformer.algorithm params in
+  let config =
+    Core.Transformer.corrupt rng ~max_height:10 params
+      (Core.Transformer.clean_config params g ~inputs)
+  in
+  let enabled = Sim.Config.enabled_nodes algo config in
+  fun () -> ignore (Sim.Engine.step algo config enabled)
+
+let bench_enabled_scan () =
+  let g = G.Builders.cycle 32 in
+  let rng = Rng.create 3 in
+  let inputs = Ss_algos.Leader_election.random_ids rng g in
+  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+  let algo = Core.Transformer.algorithm params in
+  let config =
+    Core.Transformer.corrupt rng ~max_height:10 params
+      (Core.Transformer.clean_config params g ~inputs)
+  in
+  fun () -> ignore (Sim.Config.enabled_nodes algo config)
+
+let bench_full_recovery () =
+  let g = G.Builders.cycle 16 in
+  let rng = Rng.create 4 in
+  let inputs = Ss_algos.Leader_election.random_ids rng g in
+  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+  let start =
+    Core.Transformer.corrupt rng ~max_height:10 params
+      (Core.Transformer.clean_config params g ~inputs)
+  in
+  fun () -> ignore (Core.Transformer.run params Sim.Daemon.synchronous start)
+
+let bench_rollback_scan () =
+  let config = Ss_rollback.Blowup.initial_config ~k:4 in
+  let algo =
+    Ss_rollback.Rollback.algorithm Ss_algos.Min_flood.algo
+      ~bound:(Ss_rollback.Blowup.bound_for 4)
+  in
+  fun () -> ignore (Sim.Config.enabled_nodes algo config)
+
+let bench_gamma () = fun () -> ignore (Ss_rollback.Blowup.gamma 8)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  print_endline "#### Micro-benchmarks (Bechamel) ####";
+  print_newline ();
+  let tests =
+    Test.make_grouped ~name:"fasst" ~fmt:"%s %s"
+      [
+        Test.make ~name:"sync-runner/leader-ring32"
+          (Staged.stage (bench_sync_runner ()));
+        Test.make ~name:"engine-step/trans-ring32"
+          (Staged.stage (bench_engine_step ()));
+        Test.make ~name:"enabled-scan/trans-ring32"
+          (Staged.stage (bench_enabled_scan ()));
+        Test.make ~name:"full-recovery/trans-ring16"
+          (Staged.stage (bench_full_recovery ()));
+        Test.make ~name:"rollback-scan/G4"
+          (Staged.stage (bench_rollback_scan ()));
+        Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let table = Table.create [ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some (t :: _) -> Printf.sprintf "%.0f" t
+        | _ -> "n/a"
+      in
+      Table.add_row table [ name; est ])
+    (List.sort compare rows);
+  Table.print table
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  experiment_tables ();
+  micro_benchmarks ();
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

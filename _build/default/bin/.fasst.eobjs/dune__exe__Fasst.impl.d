@@ -1,0 +1,1 @@
+bin/fasst.ml: Arg Cmd Cmdliner Format List Printf Ss_algos Ss_core Ss_expt Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify String Term

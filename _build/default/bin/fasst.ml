@@ -1,0 +1,438 @@
+(* fasst — Fully Asynchronous Self-Stabilization Toolkit.
+
+   Command-line driver for the reproduction: run individual
+   transformed algorithms under chosen adversaries, and regenerate
+   every table of the paper (Table 1, the §5 instances, the §6 energy
+   accounting, the §7 rollback blow-up). *)
+
+module G = Ss_graph
+module Sim = Ss_sim
+module Core = Ss_core
+module P = Ss_core.Predicates
+module Stabilization = Ss_verify.Stabilization
+module Rng = Ss_prelude.Rng
+module Table = Ss_prelude.Table
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_topology rng spec =
+  match String.split_on_char ':' spec with
+  | [ "path"; n ] -> G.Builders.path (int_of_string n)
+  | [ "ring"; n ] | [ "cycle"; n ] -> G.Builders.cycle (int_of_string n)
+  | [ "star"; n ] -> G.Builders.star (int_of_string n)
+  | [ "tree"; n ] -> G.Builders.binary_tree (int_of_string n)
+  | [ "complete"; n ] -> G.Builders.complete (int_of_string n)
+  | [ "hypercube"; d ] -> G.Builders.hypercube (int_of_string d)
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ r; c ] -> G.Builders.grid ~rows:(int_of_string r) ~cols:(int_of_string c)
+      | _ -> failwith "grid expects grid:RxC")
+  | [ "torus"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ r; c ] -> G.Builders.torus ~rows:(int_of_string r) ~cols:(int_of_string c)
+      | _ -> failwith "torus expects torus:RxC")
+  | [ "random"; n ] ->
+      let n = int_of_string n in
+      G.Builders.random_connected rng ~n ~extra_edges:(n / 2)
+  | [ "lollipop"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ c; t ] ->
+          G.Builders.lollipop ~clique:(int_of_string c) ~tail:(int_of_string t)
+      | _ -> failwith "lollipop expects lollipop:CLIQUExTAIL")
+  | [ "wheel"; n ] -> G.Builders.wheel (int_of_string n)
+  | [ "bipartite"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] -> G.Builders.complete_bipartite (int_of_string a) (int_of_string b)
+      | _ -> failwith "bipartite expects bipartite:AxB")
+  | [ "caterpillar"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ s; l ] ->
+          G.Builders.caterpillar ~spine:(int_of_string s) ~legs:(int_of_string l)
+      | _ -> failwith "caterpillar expects caterpillar:SPINExLEGS")
+  | [ "gk"; k ] -> G.Gk.make (int_of_string k)
+  | _ -> failwith ("unknown topology: " ^ spec)
+
+let parse_daemon rng spec =
+  match String.split_on_char ':' spec with
+  | [ "sync" ] -> Sim.Daemon.synchronous
+  | [ "async"; p ] -> Sim.Daemon.distributed_random rng ~p:(float_of_string p)
+  | [ "async" ] -> Sim.Daemon.distributed_random rng ~p:0.5
+  | [ "central" ] -> Sim.Daemon.central_random rng
+  | [ "central-min" ] -> Sim.Daemon.central_min
+  | [ "central-max" ] -> Sim.Daemon.central_max
+  | [ "round-robin" ] -> Sim.Daemon.round_robin ()
+  | _ -> failwith ("unknown daemon: " ^ spec)
+
+let topology_arg =
+  let doc =
+    "Topology: path:N, ring:N, star:N, tree:N, complete:N, hypercube:D, \
+     grid:RxC, torus:RxC, random:N, lollipop:CxT, wheel:N, bipartite:AxB, \
+     caterpillar:SxL, gk:K."
+  in
+  Arg.(value & opt string "ring:16" & info [ "t"; "topology" ] ~doc)
+
+let daemon_arg =
+  let doc =
+    "Daemon: sync, async[:p], central, central-min, central-max, round-robin."
+  in
+  Arg.(value & opt string "async:0.5" & info [ "d"; "daemon" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "seeds" ] ~doc:"Number of corruption seeds per experiment row.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lazy", P.Lazy); ("greedy", P.Greedy) ]) P.Lazy
+    & info [ "m"; "mode" ] ~doc:"Transformer mode: lazy or greedy.")
+
+let bound_arg =
+  let doc = "Bound B on the synchronous time (integer, or 'inf')." in
+  Arg.(value & opt string "inf" & info [ "b"; "bound" ] ~doc)
+
+let parse_bound = function
+  | "inf" | "infinity" -> P.Infinite
+  | s -> P.Finite (int_of_string s)
+
+let corrupt_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "p"; "corruption" ] ~doc:"Per-node fault probability.")
+
+(* ------------------------------------------------------------------ *)
+(* run: one transformed algorithm under one adversary                   *)
+(* ------------------------------------------------------------------ *)
+
+let print_report name (r : _ Stabilization.report) =
+  Printf.printf "algorithm      : %s\n" name;
+  Printf.printf "terminated     : %b\n" r.Stabilization.terminated;
+  Printf.printf "moves          : %d\n" r.Stabilization.moves;
+  Printf.printf "rounds         : %d\n" r.Stabilization.rounds;
+  Printf.printf "steps          : %d\n" r.Stabilization.steps;
+  Printf.printf "recovery moves : %d\n" r.Stabilization.recovery_moves;
+  Printf.printf "recovery rounds: %d\n" r.Stabilization.recovery_rounds;
+  Printf.printf "space (bits)   : %d\n" r.Stabilization.space_bits;
+  List.iter
+    (fun (rule, n) -> Printf.printf "  %s moves: %d\n" rule n)
+    r.Stabilization.moves_per_rule;
+  Printf.printf "legitimate     : %b\n" r.Stabilization.legitimate
+
+let run_algo ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
+  let rng = Rng.create seed in
+  let graph = parse_topology rng topology in
+  let bound = parse_bound bound in
+  let daemon = parse_daemon (Rng.split rng) daemon in
+  let go (type s i) (sync : (s, i) Ss_sync.Sync_algo.t) (inputs : int -> i)
+      (spec : s array -> bool) =
+    let params = Core.Transformer.params ~mode ~bound sync in
+    let sc = { Stabilization.params; graph; inputs } in
+    let t = (Stabilization.history sc).Ss_sync.Sync_runner.t in
+    let max_height = min (P.bound_to_int bound) (t + 6) in
+    let start =
+      Stabilization.corrupted_start (Rng.split rng) ~p ~max_height sc
+    in
+    let report = Stabilization.run sc ~daemon ~start in
+    print_report sync.Ss_sync.Sync_algo.sync_name report;
+    Printf.printf "specification  : %b\n" (spec report.Stabilization.outputs)
+  in
+  (match algo_name with
+  | "leader" ->
+      let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
+      go Ss_algos.Leader_election.algo inputs (fun final ->
+          Ss_algos.Leader_election.spec_holds graph ~inputs ~final)
+  | "minflood" ->
+      let inputs p = (p * 31) mod 17 in
+      go Ss_algos.Min_flood.algo inputs (fun final ->
+          Ss_algos.Min_flood.spec_holds graph ~inputs ~final)
+  | "bfs" ->
+      let inputs = Ss_algos.Bfs_tree.inputs graph ~root:0 in
+      go Ss_algos.Bfs_tree.algo inputs (fun final ->
+          Ss_algos.Bfs_tree.spec_holds graph ~root:0 ~final)
+  | "sp" ->
+      let weight =
+        Ss_algos.Shortest_path.random_weights (Rng.split rng) graph ~max_weight:8
+      in
+      let inputs = Ss_algos.Shortest_path.inputs graph ~weight ~root:0 in
+      go Ss_algos.Shortest_path.algo inputs (fun final ->
+          Ss_algos.Shortest_path.spec_holds graph ~weight ~root:0 ~final)
+  | "leaderbfs" ->
+      let ids = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
+      let inputs = Ss_algos.Leader_bfs.inputs ~ids graph in
+      go Ss_algos.Leader_bfs.algo inputs (fun final ->
+          Ss_algos.Leader_bfs.spec_holds graph ~inputs ~final)
+  | "coloring" ->
+      let n = G.Graph.n graph in
+      let width = max 8 (Ss_prelude.Util.bit_width n) in
+      let ids =
+        Ss_algos.Cole_vishkin.random_ring_ids (Rng.split rng) ~n ~width
+      in
+      let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width graph in
+      go Ss_algos.Cole_vishkin.algo inputs (fun final ->
+          Ss_algos.Cole_vishkin.spec_holds graph ~final)
+  | "mis" ->
+      let n = G.Graph.n graph in
+      let width = max 8 (Ss_prelude.Util.bit_width n) in
+      let ids =
+        Ss_algos.Cole_vishkin.random_ring_ids (Rng.split rng) ~n ~width
+      in
+      let inputs = Ss_algos.Ring_mis.inputs ~ids ~width graph in
+      go Ss_algos.Ring_mis.algo inputs (fun final ->
+          Ss_algos.Ring_mis.spec_holds graph ~final)
+  | other -> failwith ("unknown algorithm: " ^ other));
+  0
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value & opt string "leader"
+      & info [ "a"; "algorithm" ]
+          ~doc:"Algorithm: leader, minflood, bfs, sp, leaderbfs, coloring, mis.")
+  in
+  let term =
+    Term.(
+      const (fun algo_name topology daemon seed mode bound p ->
+          run_algo ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p)
+      $ algo $ topology_arg $ daemon_arg $ seed_arg $ mode_arg $ bound_arg
+      $ corrupt_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one transformed algorithm from a corrupted configuration under \
+          one adversary and report moves/rounds/recovery.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seeds_list k = List.init k (fun i -> i + 1)
+
+let section title table =
+  Printf.printf "== %s ==\n" title;
+  Table.print table
+
+let table1_run which seed seeds =
+  let rng () = Rng.create seed in
+  let seeds = seeds_list seeds in
+  if which = "lazy" || which = "all" then
+    section "Table 1 / lazy mode (leader election)"
+      (Ss_expt.Table1.lazy_rows ~seeds (rng ()));
+  if which = "greedy" || which = "all" then
+    section "Table 1 / greedy mode" (Ss_expt.Table1.greedy_rows ~seeds (rng ()));
+  if which = "recovery" || which = "all" then
+    section "Table 1 / error recovery"
+      (Ss_expt.Table1.recovery_rows ~seeds (rng ()));
+  if which = "space" || which = "all" then
+    section "Table 1 / space" (Ss_expt.Table1.space_rows ~seeds (rng ()));
+  0
+
+let table1_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"WHICH" ~doc:"lazy | greedy | recovery | space | all")
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the complexity rows of Table 1.")
+    Term.(const table1_run $ which $ seed_arg $ seeds_arg)
+
+let instances_run which seed seeds =
+  let rng () = Rng.create seed in
+  let seeds = seeds_list seeds in
+  if which = "leader" || which = "all" then
+    section "§5.1 leader election" (Ss_expt.Instances.leader_rows ~seeds (rng ()));
+  if which = "bfs" || which = "all" then
+    section "§5.2 BFS spanning tree" (Ss_expt.Instances.bfs_rows ~seeds (rng ()));
+  if which = "cv" || which = "all" then
+    section "§5.3 Cole-Vishkin ring coloring"
+      (Ss_expt.Instances.cv_rows ~seeds (rng ()));
+  if which = "sp" || which = "all" then
+    section "shortest-path trees (§1 Bellman-Ford input)"
+      (Ss_expt.Instances.shortest_path_rows ~seeds (rng ()));
+  0
+
+let instances_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"WHICH" ~doc:"leader | bfs | cv | sp | all")
+  in
+  Cmd.v
+    (Cmd.info "instances" ~doc:"Reproduce the §5 instance experiments.")
+    Term.(const instances_run $ which $ seed_arg $ seeds_arg)
+
+let rollback_run max_k =
+  section "§7 / Figure 1: rollback blow-up vs transformer"
+    (Ss_expt.Blowup_expt.rows ~max_k ());
+  0
+
+let rollback_cmd =
+  let max_k =
+    Arg.(value & opt int 10 & info [ "k"; "max-k" ] ~doc:"Largest G_k index.")
+  in
+  Cmd.v
+    (Cmd.info "rollback"
+       ~doc:
+         "Reproduce the exponential move complexity of the rollback compiler \
+          on the G_k family (validated schedule Γ_k).")
+    Term.(const rollback_run $ max_k)
+
+let energy_run seed seeds =
+  section "§6 message/energy accounting"
+    (Ss_expt.Energy_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
+  0
+
+let energy_cmd =
+  Cmd.v
+    (Cmd.info "energy" ~doc:"Reproduce the §6 message-size comparison.")
+    Term.(const energy_run $ seed_arg $ seeds_arg)
+
+let ablation_run seed seeds =
+  section "ablation: removing RP or the RC window breaks the transformer"
+    (Ss_expt.Ablation_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
+  0
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Compare the full rule set against the no-RP and eager-RC ablations \
+          (stuck/live-lock rates, worst moves).")
+    Term.(const ablation_run $ seed_arg $ seeds_arg)
+
+let msgnet_run seed seeds =
+  section "§6 end-to-end: transformer over message passing"
+    (Ss_expt.Msgnet_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
+  0
+
+let msgnet_cmd =
+  Cmd.v
+    (Cmd.info "msgnet"
+       ~doc:
+         "Run the message-passing realization (mirrors, heartbeat proofs, \
+          delta encoding) end-to-end and report traffic.")
+    Term.(const msgnet_run $ seed_arg $ seeds_arg)
+
+let baselines_run seed seeds =
+  section "hand-crafted min+1 BFS vs transformed BFS"
+    (Ss_expt.Baselines_expt.bfs_rows ~seeds:(seeds_list seeds) (Rng.create seed));
+  section "Dijkstra's token ring [27]"
+    (Ss_expt.Baselines_expt.dijkstra_rows (Rng.create seed));
+  0
+
+let baselines_cmd =
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:
+         "Compare hand-crafted self-stabilizing baselines (min+1 BFS, \
+          Dijkstra's token ring) against the transformer.")
+    Term.(const baselines_run $ seed_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: dump one execution as CSV                                     *)
+(* ------------------------------------------------------------------ *)
+
+let trace_run topology daemon seed out =
+  let rng = Rng.create seed in
+  let graph = parse_topology rng topology in
+  let daemon = parse_daemon (Rng.split rng) daemon in
+  let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
+  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+  let sc = { Stabilization.params; graph; inputs } in
+  let t = (Stabilization.history sc).Ss_sync.Sync_runner.t in
+  let start =
+    Stabilization.corrupted_start (Rng.split rng) ~max_height:(t + 4) sc
+  in
+  let observer, events = Ss_sim.Trace.make () in
+  let stats = Core.Transformer.run ~observer params daemon start in
+  let csv = Ss_sim.Trace.to_csv (events ()) in
+  (match out with
+  | None -> print_string csv
+  | Some path ->
+      let oc = open_out path in
+      output_string oc csv;
+      close_out oc;
+      Printf.printf "trace written to %s\n" path);
+  Printf.eprintf "(%d moves, %d rounds, terminated=%b)\n"
+    stats.Ss_sim.Engine.moves stats.Ss_sim.Engine.rounds
+    stats.Ss_sim.Engine.terminated;
+  0
+
+let dot_run topology seed out =
+  let rng = Rng.create seed in
+  let graph = parse_topology rng topology in
+  let label =
+    if String.length topology >= 3 && String.sub topology 0 3 = "gk:" then
+      fun v -> Format.asprintf "%a" (G.Gk.pp_node ~k:0) v
+    else string_of_int
+  in
+  let dot = G.Dot.of_graph ~name:"topology" ~label graph in
+  (match out with
+  | None -> print_string dot
+  | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "graph written to %s (n=%d, m=%d, D=%d)\n" path
+        (G.Graph.n graph) (G.Graph.m graph)
+        (G.Properties.diameter graph));
+  0
+
+let dot_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the DOT to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a topology in Graphviz DOT syntax.")
+    Term.(const dot_run $ topology_arg $ seed_arg $ out)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the CSV to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run transformed leader election from a corrupted start and dump the \
+          per-move trace (step, rounds, node, rule) as CSV.")
+    Term.(const trace_run $ topology_arg $ daemon_arg $ seed_arg $ out)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment table in sequence.")
+    Term.(
+      const (fun seed seeds ->
+          ignore (table1_run "all" seed seeds);
+          ignore (instances_run "all" seed seeds);
+          ignore (rollback_run 10);
+          ignore (energy_run seed seeds);
+          ignore (msgnet_run seed seeds);
+          ignore (ablation_run seed seeds);
+          ignore (baselines_run seed seeds);
+          0)
+      $ seed_arg $ seeds_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "fasst" ~version:"1.0.0"
+       ~doc:
+         "Fully Asynchronous Self-Stabilization Toolkit — reproduction of \
+          Devismes, Ilcinkas, Johnen & Mazoit (PODC 2024).")
+    [ run_cmd; table1_cmd; instances_cmd; rollback_cmd; energy_cmd; ablation_cmd; msgnet_cmd; baselines_cmd; trace_cmd; dot_cmd; all_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/bfs_grid.ml: Array Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim

@@ -1,0 +1,1 @@
+examples/bfs_grid.mli:

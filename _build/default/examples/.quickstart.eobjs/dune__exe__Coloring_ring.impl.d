@@ -1,0 +1,1 @@
+examples/coloring_ring.ml: Array Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim

@@ -1,0 +1,1 @@
+examples/local_model.ml: Array Format Fun Int Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync String

@@ -1,0 +1,1 @@
+examples/sensors.ml: Array Printf Ss_algos Ss_core Ss_energy Ss_graph Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,1 @@
+examples/token_ring.ml: Array List Printf Ss_baselines Ss_graph Ss_prelude Ss_sim String

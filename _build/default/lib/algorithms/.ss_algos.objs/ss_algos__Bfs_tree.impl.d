@@ -1,0 +1,1 @@
+lib/algorithms/bfs_tree.ml: Array Format Ss_graph Ss_prelude Ss_sync

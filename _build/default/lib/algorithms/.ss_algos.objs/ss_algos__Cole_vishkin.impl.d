@@ -1,0 +1,1 @@
+lib/algorithms/cole_vishkin.ml: Array Format Hashtbl Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/cole_vishkin.mli: Format Ss_graph Ss_prelude Ss_sync

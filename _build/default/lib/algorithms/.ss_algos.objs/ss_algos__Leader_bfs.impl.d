@@ -1,0 +1,1 @@
+lib/algorithms/leader_bfs.ml: Array Format Printf Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/leader_bfs.mli: Format Ss_graph Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/leader_election.ml: Array Format Int Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/leader_election.mli: Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/local_views.ml: Array Format List Ss_graph Ss_prelude Ss_sync

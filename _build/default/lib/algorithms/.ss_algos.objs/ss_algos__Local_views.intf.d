@@ -1,0 +1,1 @@
+lib/algorithms/local_views.mli: Format Ss_graph Ss_prelude Ss_sync

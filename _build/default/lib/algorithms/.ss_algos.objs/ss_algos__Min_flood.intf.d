@@ -1,0 +1,1 @@
+lib/algorithms/min_flood.mli: Ss_graph Ss_sync

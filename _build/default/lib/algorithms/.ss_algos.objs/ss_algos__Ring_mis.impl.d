@@ -1,0 +1,1 @@
+lib/algorithms/ring_mis.ml: Array Cole_vishkin Format Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/ring_mis.mli: Cole_vishkin Format Ss_graph Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/shortest_path.ml: Array Format Hashtbl List Printf Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/shortest_path.mli: Format Ss_graph Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/toy.ml: Array Format Int Ss_prelude Ss_sync

@@ -1,0 +1,1 @@
+lib/algorithms/toy.mli: Ss_sync

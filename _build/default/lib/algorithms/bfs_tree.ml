@@ -1,0 +1,73 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Properties = Ss_graph.Properties
+module Rng = Ss_prelude.Rng
+
+type state = Null | Root | Parent of int
+type input = { is_root : bool; degree : int }
+
+let equal_state a b =
+  match (a, b) with
+  | Null, Null | Root, Root -> true
+  | Parent i, Parent j -> i = j
+  | (Null | Root | Parent _), _ -> false
+
+let pp_state ppf = function
+  | Null -> Format.pp_print_string ppf "⊥"
+  | Root -> Format.pp_print_string ppf "root"
+  | Parent k -> Format.fprintf ppf "↑%d" k
+
+let settled = function Null -> false | Root | Parent _ -> true
+
+let step input self neighbors =
+  match self with
+  | Root | Parent _ -> self
+  | Null ->
+      if input.is_root then Root
+      else begin
+        (* Adopt the smallest port whose neighbor is settled. *)
+        let rec find k =
+          if k >= Array.length neighbors then Null
+          else if settled neighbors.(k) then Parent k
+          else find (k + 1)
+        in
+        find 0
+      end
+
+let algo =
+  {
+    Sync_algo.sync_name = "bfs-tree";
+    equal = equal_state;
+    init = (fun input -> if input.is_root then Root else Null);
+    step;
+    random_state =
+      (fun rng input ->
+        match Rng.int rng 3 with
+        | 0 -> Null
+        | 1 -> Root
+        | _ -> if input.degree = 0 then Null else Parent (Rng.int rng input.degree));
+    state_bits =
+      (fun s ->
+        2 + match s with Parent k -> Ss_prelude.Util.bit_width k | Null | Root -> 0);
+    pp_state;
+  }
+
+let inputs g ~root p = { is_root = p = root; degree = Graph.degree g p }
+
+let parent_node g p = function
+  | Null | Root -> None
+  | Parent k ->
+      let nbrs = Graph.neighbors g p in
+      if k < 0 || k >= Array.length nbrs then None else Some nbrs.(k)
+
+let spec_holds g ~root ~final =
+  let dist = Properties.bfs_distances g root in
+  let ok p =
+    if p = root then equal_state final.(p) Root
+    else
+      match parent_node g p final.(p) with
+      | None -> false
+      | Some q -> dist.(q) = dist.(p) - 1
+  in
+  let rec go p = p >= Graph.n g || (ok p && go (p + 1)) in
+  go 0

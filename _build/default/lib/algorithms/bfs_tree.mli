@@ -1,0 +1,38 @@
+(** Breadth-first-search spanning tree construction (paper §5.2).
+
+    The network is rooted (one distinguished node) and port-labelled;
+    nodes are anonymous otherwise.  Each non-root node holds a parent
+    pointer, initially [Null].  At each round, a [Null] node that sees
+    a neighbor which is the root or has a non-[Null] pointer
+    definitively adopts the smallest such port as its parent.  After at
+    most [ecc(root) <= D] rounds the pointers form a BFS spanning tree.
+    Through the transformer in lazy mode this yields a fully-polynomial
+    silent self-stabilizing BFS construction in [O(D)] rounds and
+    [O(n³)] moves with [O(B·log Δ)] bits per node. *)
+
+type state =
+  | Null  (** No parent chosen yet. *)
+  | Root  (** The root's permanent state. *)
+  | Parent of int  (** Port index of the chosen parent. *)
+
+type input = { is_root : bool; degree : int }
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm. *)
+
+val inputs : Ss_graph.Graph.t -> root:int -> int -> input
+(** Input function distinguishing [root]. *)
+
+val parent_node : Ss_graph.Graph.t -> int -> state -> int option
+(** Resolve a parent pointer to the neighbor's node id ([None] for
+    [Null]/[Root]). *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> root:int -> final:state array -> bool
+(** The pointers form a spanning tree rooted at [root] in which every
+    node's tree path to the root has length exactly its graph
+    distance — i.e. a BFS tree: the root is [Root], every other node
+    points to a neighbor strictly closer to the root. *)
+
+val pp_state : Format.formatter -> state -> unit
+(** Renders [⊥], [root] or [↑k]. *)

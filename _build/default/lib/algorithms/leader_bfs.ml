@@ -1,0 +1,79 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Properties = Ss_graph.Properties
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+
+type state = { ldr : int; dist : int; parent : int option }
+type input = { id : int; degree : int }
+
+let equal_state a b = a.ldr = b.ldr && a.dist = b.dist && a.parent = b.parent
+
+let pp_state ppf s =
+  Format.fprintf ppf "(ldr=%d, d=%d%s)" s.ldr s.dist
+    (match s.parent with None -> "" | Some k -> Printf.sprintf ", ↑%d" k)
+
+let better a b =
+  a.ldr < b.ldr || (a.ldr = b.ldr && a.dist < b.dist)
+(* Parent ports are tie-broken by scanning ports in increasing order. *)
+
+let step input _self neighbors =
+  let base = { ldr = input.id; dist = 0; parent = None } in
+  let best = ref base in
+  Array.iteri
+    (fun k nbr ->
+      let cand = { ldr = nbr.ldr; dist = nbr.dist + 1; parent = Some k } in
+      if better cand !best then best := cand)
+    neighbors;
+  !best
+
+let algo =
+  {
+    Sync_algo.sync_name = "leader-bfs";
+    equal = equal_state;
+    init = (fun input -> { ldr = input.id; dist = 0; parent = None });
+    step;
+    random_state =
+      (fun rng input ->
+        {
+          ldr = Rng.int rng 65536;
+          dist = Rng.int rng 64;
+          parent =
+            (if input.degree = 0 || Rng.bool rng then None
+             else Some (Rng.int rng input.degree));
+        });
+    state_bits =
+      (fun s ->
+        1 + Util.bit_width s.ldr + 1 + Util.bit_width s.dist
+        + (match s.parent with None -> 1 | Some k -> 2 + Util.bit_width k));
+    pp_state;
+  }
+
+let inputs ~ids g p = { id = ids p; degree = Graph.degree g p }
+
+let spec_holds g ~inputs ~final =
+  let n = Graph.n g in
+  let leader_id = ref max_int in
+  let leader_node = ref (-1) in
+  for p = 0 to n - 1 do
+    let { id; _ } = inputs p in
+    if id < !leader_id then begin
+      leader_id := id;
+      leader_node := p
+    end
+  done;
+  let dist = Properties.bfs_distances g !leader_node in
+  let ok p =
+    let s = final.(p) in
+    s.ldr = !leader_id && s.dist = dist.(p)
+    &&
+    if p = !leader_node then s.parent = None
+    else
+      match s.parent with
+      | None -> false
+      | Some k ->
+          let nbrs = Graph.neighbors g p in
+          k >= 0 && k < Array.length nbrs && dist.(nbrs.(k)) = dist.(p) - 1
+  in
+  let rec go p = p >= n || (ok p && go (p + 1)) in
+  go 0

@@ -1,0 +1,30 @@
+(** Composed task: leader election + BFS tree rooted at the leader.
+
+    Nodes have unique identifiers and port labels.  Each node holds
+    the triple (leader id, hop distance to that leader, parent port);
+    at each round it takes the lexicographic minimum of its own base
+    candidate [(id, 0, None)] and [(q.ldr, q.dist+1, Some port)] over
+    its neighbors, breaking ties by the smallest port.  The fixpoint —
+    every node agreeing on the minimum id, holding its exact distance
+    to it and a BFS parent — is reached within [O(D)] rounds.
+
+    This composition illustrates the paper's remark that silent
+    algorithms compose well and answers both §1.2 open questions at
+    once through a single transformer application. *)
+
+type state = { ldr : int; dist : int; parent : int option }
+type input = { id : int; degree : int }
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm. *)
+
+val inputs : ids:(int -> int) -> Ss_graph.Graph.t -> int -> input
+(** Build inputs from an identifier assignment. *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Everyone designates the minimum id; distances are exact hop
+    distances to the leader; parents point one step closer (the leader
+    itself has [dist = 0], [parent = None]). *)
+
+val pp_state : Format.formatter -> state -> unit

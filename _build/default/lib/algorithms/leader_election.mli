@@ -1,0 +1,30 @@
+(** Leader election by minimum-identifier flooding (paper §5.1).
+
+    Nodes have unique identifiers.  Each node maintains [Best], the
+    smallest identifier heard so far, initialized to its own id and
+    replaced each round by the minimum over the closed neighborhood.
+    After at most [D] synchronous rounds every node designates the
+    minimum id of the network — the leader.  Through the transformer
+    in lazy mode this yields the first fully-polynomial silent
+    self-stabilizing leader election: [O(D)] rounds and [O(n³)]
+    moves. *)
+
+type state = int
+(** [Best]: smallest identifier seen. *)
+
+type input = int
+(** The node's unique identifier. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm. *)
+
+val sequential_ids : Ss_graph.Graph.t -> int -> input
+(** Identifiers [0, 1, …] (node id = identifier). *)
+
+val random_ids : Ss_prelude.Rng.t -> Ss_graph.Graph.t -> int -> input
+(** A random injective assignment of identifiers drawn from
+    [0 .. 16n). *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Every node designates the minimum identifier. *)

@@ -1,0 +1,68 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+
+type 'i tree = { label : 'i; children : 'i tree list }
+type 'i input = { self_input : 'i; radius : int }
+
+let leaf label = { label; children = [] }
+
+let rec depth_of t =
+  List.fold_left (fun acc c -> max acc (1 + depth_of c)) 0 t.children
+
+let rec equal_tree eq a b =
+  eq a.label b.label
+  && List.length a.children = List.length b.children
+  && List.for_all2 (equal_tree eq) a.children b.children
+
+let rec tree_size t = 1 + List.fold_left (fun acc c -> acc + tree_size c) 0 t.children
+
+let rec random_tree rng random_input fuel =
+  let width = if fuel <= 0 then 0 else Rng.int rng 3 in
+  {
+    label = random_input rng;
+    children = List.init width (fun _ -> random_tree rng random_input (fuel - 1));
+  }
+
+let algo ~equal ~input_bits ~random_input ~pp =
+  let rec pp_tree ppf t =
+    Format.fprintf ppf "%a(%a)" pp t.label
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         pp_tree)
+      t.children
+  in
+  let rec bits t =
+    input_bits t.label + 2
+    + List.fold_left (fun acc c -> acc + bits c) 0 t.children
+  in
+  {
+    Sync_algo.sync_name = "local-views";
+    equal = equal_tree equal;
+    init = (fun input -> leaf input.self_input);
+    step =
+      (fun input self neighbors ->
+        if depth_of self >= input.radius then self
+        else
+          { label = input.self_input; children = Array.to_list neighbors });
+    random_state = (fun rng _ -> random_tree rng random_input 2);
+    state_bits = bits;
+    pp_state = pp_tree;
+  }
+
+let expected_view g ~inputs ~radius node =
+  let rec unfold v d =
+    if d = 0 then leaf (inputs v)
+    else
+      {
+        label = inputs v;
+        children =
+          Array.to_list
+            (Array.map (fun q -> unfold q (d - 1)) (Graph.neighbors g v));
+      }
+  in
+  unfold node radius
+
+let rec fold_ball f acc t =
+  List.fold_left (fold_ball f) (f acc t.label) t.children
+
+let min_in_ball t key = fold_ball (fun acc label -> min acc (key label)) max_int t

@@ -1,0 +1,58 @@
+(** Generic LOCAL-model simulation: radius-[r] view collection.
+
+    The paper's first implication (§1.3) is that {e every} problem
+    solvable in the LOCAL model admits a fully-polynomial FASSS: a
+    LOCAL algorithm with radius [r] is exactly a function of each
+    node's radius-[r] {e view} — the tree of inputs unfolded from the
+    node along all walks of length [<= r] — so it suffices to make
+    view collection self-stabilizing and post-process locally.  This
+    module implements the collection as a terminating synchronous
+    algorithm: after round [i <= r] every node holds its depth-[i]
+    view tree; after [T = r] rounds it stops.
+
+    A view tree records, at its root, the node's own input and, as
+    ordered children, the previous-round trees of its neighbors in
+    port order.  Any LOCAL algorithm is then a pure function of the
+    collected tree — leader election within radius [r], minima /
+    counting over the ball, local topology inference, etc.  The state
+    grows as [O(Δ^r)] — the LOCAL model's classic cost, which the
+    transformer further multiplies by [B] (Table 1's space row prices
+    exactly this trade-off). *)
+
+type 'i tree = { label : 'i; children : 'i tree list }
+(** A rooted ordered tree of inputs.  The algorithm's state. *)
+
+type 'i input = { self_input : 'i; radius : int }
+
+val leaf : 'i -> 'i tree
+(** Depth-0 view. *)
+
+val depth_of : 'i tree -> int
+(** Height of the tree ([0] for a leaf). *)
+
+val equal_tree : ('i -> 'i -> bool) -> 'i tree -> 'i tree -> bool
+(** Structural equality. *)
+
+val tree_size : 'i tree -> int
+(** Number of tree nodes. *)
+
+val algo :
+  equal:('i -> 'i -> bool) ->
+  input_bits:('i -> int) ->
+  random_input:(Ss_prelude.Rng.t -> 'i) ->
+  pp:(Format.formatter -> 'i -> unit) ->
+  ('i tree, 'i input) Ss_sync.Sync_algo.t
+(** The collection algorithm for input type ['i].  All nodes must
+    share the same [radius]. *)
+
+val expected_view :
+  Ss_graph.Graph.t -> inputs:(int -> 'i) -> radius:int -> int -> 'i tree
+(** The ground-truth depth-[radius] view of a node, unfolded directly
+    from the graph — what the algorithm must converge to. *)
+
+val fold_ball : ('a -> 'i -> 'a) -> 'a -> 'i tree -> 'a
+(** Fold over all labels of a view tree (with walk multiplicity). *)
+
+val min_in_ball : 'i tree -> ('i -> int) -> int
+(** Smallest [key label] over the view — e.g. leader election within
+    radius [r] when inputs are identifiers. *)

@@ -1,0 +1,21 @@
+(** Minimum computation by flooding (paper §7's input algorithm).
+
+    Every node holds an integer; at each round a node replaces its
+    value by the minimum over its closed neighborhood.  The algorithm
+    is silent after at most [D] rounds, with every node holding the
+    global minimum.  It runs in the weak anonymous model (the neighbor
+    array is used as a multiset). *)
+
+type state = int
+type input = int  (** The node's initial value [p.I]. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm. *)
+
+val inputs_of_values : int array -> int -> input
+(** [inputs_of_values values] is an input function for
+    {!Ss_sync.Sync_runner.run}. *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Every node ends with the global minimum of the inputs. *)

@@ -1,0 +1,87 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+
+type state = { color : int; round : int; in_mis : bool }
+type input = Cole_vishkin.input
+
+let schedule_length w = Cole_vishkin.schedule_length w + 3
+
+let equal_state a b =
+  a.color = b.color && a.round = b.round && a.in_mis = b.in_mis
+
+let pp_state ppf s =
+  Format.fprintf ppf "(c=%d, r=%d%s)" s.color s.round
+    (if s.in_mis then ", MIS" else "")
+
+let step (input : input) self neighbors =
+  let cv_len = Cole_vishkin.schedule_length input.Cole_vishkin.width in
+  let k = cv_len + 3 in
+  if self.round >= k || Array.length neighbors <> 2 then self
+  else begin
+    let r = self.round in
+    let nb_cw = neighbors.(0) and nb_ccw = neighbors.(1) in
+    let reductions = Cole_vishkin.reduction_iters input.Cole_vishkin.width in
+    let color, in_mis =
+      if r < reductions then
+        (Cole_vishkin.reduce ~own:self.color ~pred:nb_ccw.color, self.in_mis)
+      else if r < cv_len then begin
+        (* Shift-down rounds eliminating colors 5, 4, 3. *)
+        let target = 5 - (r - reductions) in
+        if self.color = target then begin
+          let free c = c <> nb_cw.color && c <> nb_ccw.color in
+          ((if free 0 then 0 else if free 1 then 1 else 2), self.in_mis)
+        end
+        else (self.color, self.in_mis)
+      end
+      else begin
+        (* Election rounds: color class r - cv_len joins if undominated. *)
+        let target = r - cv_len in
+        if self.color = target && (not nb_cw.in_mis) && not nb_ccw.in_mis then
+          (self.color, true)
+        else (self.color, self.in_mis)
+      end
+    in
+    { color; round = r + 1; in_mis }
+  end
+
+let algo =
+  {
+    Sync_algo.sync_name = "ring-mis";
+    equal = equal_state;
+    init =
+      (fun (input : input) ->
+        { color = input.Cole_vishkin.id; round = 0; in_mis = false });
+    step;
+    random_state =
+      (fun rng (input : input) ->
+        {
+          color = Rng.int rng (1 lsl min input.Cole_vishkin.width 16);
+          round = Rng.int rng (schedule_length input.Cole_vishkin.width + 2);
+          in_mis = Rng.bool rng;
+        });
+    state_bits =
+      (fun s -> Util.bit_width s.color + Util.bit_width s.round + 1);
+    pp_state;
+  }
+
+let inputs ~ids ~width g p =
+  let cv = Cole_vishkin.inputs ~ids ~width g p in
+  (* The CV schedule field is reused as-is; our own schedule adds the
+     three election rounds on top via [schedule_length]. *)
+  cv
+
+let spec_holds g ~final =
+  let independent p =
+    (not final.(p).in_mis)
+    || Array.for_all (fun q -> not final.(q).in_mis) (Graph.neighbors g p)
+  in
+  let dominated p =
+    final.(p).in_mis
+    || Array.exists (fun q -> final.(q).in_mis) (Graph.neighbors g p)
+  in
+  let rec go p =
+    p >= Graph.n g || (independent p && dominated p && go (p + 1))
+  in
+  go 0

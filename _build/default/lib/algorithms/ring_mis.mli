@@ -1,0 +1,35 @@
+(** Maximal independent set on oriented rings, composed on top of
+    Cole–Vishkin (an extension exercise: the transformer applies to
+    any terminating synchronous composition, §8's "simplify the design
+    of energy-efficient FASSSes").
+
+    The schedule prepends the {!Cole_vishkin} coloring (reductions +
+    shift-down, [K] rounds) and appends three {e election} rounds: for
+    [c = 0, 1, 2] in order, every node of color [c] with no neighbor
+    already elected joins the set.  Color classes are independent, so
+    the set stays independent; every node is eventually either elected
+    or dominated, so it is maximal.  [T = K + 3 = Θ(log* n)].
+
+    Through the transformer in greedy mode with [B = T] this yields a
+    silent self-stabilizing MIS on oriented rings in [O(log* n)]
+    rounds and [O(n² log* n)] moves — beyond the paper's §5 list, with
+    the same machinery. *)
+
+type state = { color : int; round : int; in_mis : bool }
+type input = Cole_vishkin.input
+
+val schedule_length : int -> int
+(** [Cole_vishkin.schedule_length w + 3]. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm (oriented-ring convention of
+    {!Ss_graph.Builders.cycle}). *)
+
+val inputs :
+  ids:(int -> int) -> width:int -> Ss_graph.Graph.t -> int -> input
+(** Build inputs; all ids distinct and [< 2^width]. *)
+
+val spec_holds : Ss_graph.Graph.t -> final:state array -> bool
+(** The flagged nodes form a maximal independent set. *)
+
+val pp_state : Format.formatter -> state -> unit

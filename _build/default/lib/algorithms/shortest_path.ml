@@ -1,0 +1,118 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+
+type state = { dist : int; parent : int option }
+type input = { is_root : bool; weights : int array }
+
+let infinity = max_int / 4
+
+let equal_state a b = a.dist = b.dist && a.parent = b.parent
+
+let pp_state ppf s =
+  if s.dist >= infinity then Format.pp_print_string ppf "∞"
+  else
+    Format.fprintf ppf "%d%s" s.dist
+      (match s.parent with None -> "" | Some k -> Printf.sprintf "↑%d" k)
+
+let step input self neighbors =
+  if input.is_root then { dist = 0; parent = None }
+  else begin
+    let best = ref { dist = infinity; parent = None } in
+    Array.iteri
+      (fun k nbr ->
+        if nbr.dist < infinity then begin
+          let d = nbr.dist + input.weights.(k) in
+          if d < !best.dist then best := { dist = d; parent = Some k }
+        end)
+      neighbors;
+    ignore self;
+    !best
+  end
+
+let algo =
+  {
+    Sync_algo.sync_name = "shortest-path";
+    equal = equal_state;
+    init =
+      (fun input ->
+        if input.is_root then { dist = 0; parent = None }
+        else { dist = infinity; parent = None });
+    step;
+    random_state =
+      (fun rng input ->
+        let deg = Array.length input.weights in
+        {
+          dist = (if Rng.bool rng then infinity else Rng.int rng 256);
+          parent =
+            (if deg = 0 || Rng.bool rng then None else Some (Rng.int rng deg));
+        });
+    state_bits =
+      (fun s ->
+        let d = if s.dist >= infinity then 1 else 1 + Util.bit_width s.dist in
+        let p = match s.parent with None -> 1 | Some k -> 2 + Util.bit_width k in
+        d + p);
+    pp_state;
+  }
+
+let inputs g ~weight ~root p =
+  {
+    is_root = p = root;
+    weights = Array.map (fun q -> weight p q) (Graph.neighbors g p);
+  }
+
+let random_weights rng g ~max_weight =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) -> Hashtbl.add tbl (u, v) (1 + Rng.int rng max_weight))
+    (Graph.edges g);
+  fun u v ->
+    let key = (min u v, max u v) in
+    match Hashtbl.find_opt tbl key with
+    | Some w -> w
+    | None -> invalid_arg "random_weights: not an edge"
+
+let reference_distances g ~weight ~root =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let visited = Array.make n false in
+  dist.(root) <- 0;
+  (* Dijkstra with linear extraction: fine at experiment sizes. *)
+  let rec extract () =
+    let best = ref (-1) in
+    for p = 0 to n - 1 do
+      if (not visited.(p)) && dist.(p) < infinity
+         && (!best = -1 || dist.(p) < dist.(!best))
+      then best := p
+    done;
+    if !best >= 0 then begin
+      let u = !best in
+      visited.(u) <- true;
+      Array.iter
+        (fun v ->
+          let d = dist.(u) + weight u v in
+          if d < dist.(v) then dist.(v) <- d)
+        (Graph.neighbors g u);
+      extract ()
+    end
+  in
+  extract ();
+  dist
+
+let spec_holds g ~weight ~root ~final =
+  let dist = reference_distances g ~weight ~root in
+  let ok p =
+    if p = root then final.(p).dist = 0 && final.(p).parent = None
+    else if final.(p).dist <> dist.(p) then false
+    else
+      match final.(p).parent with
+      | None -> false
+      | Some k ->
+          let nbrs = Graph.neighbors g p in
+          k >= 0
+          && k < Array.length nbrs
+          && dist.(nbrs.(k)) + weight p nbrs.(k) = dist.(p)
+  in
+  let rec go p = p >= Graph.n g || (ok p && go (p + 1)) in
+  go 0

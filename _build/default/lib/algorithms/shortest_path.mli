@@ -1,0 +1,49 @@
+(** Weighted shortest-path spanning tree (Bellman–Ford style).
+
+    The network is rooted and port-labelled; every edge carries a
+    positive integer weight known to both endpoints.  Each round a
+    non-root node recomputes its tentative distance as the minimum of
+    [neighbor distance + edge weight] over its ports (and the root
+    pins distance [0]), recording the argmin port as its parent.  The
+    fixpoint — exact weighted distances and a shortest-path tree — is
+    reached after at most [n - 1] rounds.  This is the
+    "Bellman-Ford-based spanning tree construction" family the paper
+    cites as round-efficient but exponential in moves when made
+    self-stabilizing directly; through the transformer it becomes
+    fully polynomial. *)
+
+type state = { dist : int; parent : int option }
+(** [dist = infinity] encodes unreachability during convergence. *)
+
+type input = { is_root : bool; weights : int array  (** Per-port weights. *) }
+
+val infinity : int
+(** The distance encoding of [+∞]. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+(** The synchronous algorithm. *)
+
+val inputs :
+  Ss_graph.Graph.t -> weight:(int -> int -> int) -> root:int -> int -> input
+(** [inputs g ~weight ~root] builds per-node inputs; [weight u v] must
+    be symmetric and positive. *)
+
+val random_weights :
+  Ss_prelude.Rng.t -> Ss_graph.Graph.t -> max_weight:int -> int -> int -> int
+(** A symmetric random weight function with weights in
+    [1 .. max_weight]. *)
+
+val reference_distances :
+  Ss_graph.Graph.t -> weight:(int -> int -> int) -> root:int -> int array
+(** Dijkstra-computed exact distances, used by the checker and tests. *)
+
+val spec_holds :
+  Ss_graph.Graph.t ->
+  weight:(int -> int -> int) ->
+  root:int ->
+  final:state array ->
+  bool
+(** Distances are exact and every non-root parent edge lies on a
+    shortest path. *)
+
+val pp_state : Format.formatter -> state -> unit

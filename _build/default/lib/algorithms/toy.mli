@@ -1,0 +1,17 @@
+(** Toy synchronous algorithms with precisely controlled execution
+    times, used by the test suite and by the Table 1 greedy-mode
+    sweeps (where an exactly known [T] isolates the dependence on
+    [B]). *)
+
+val constant : (int, int) Ss_sync.Sync_algo.t
+(** A silent-from-the-start algorithm: state = input, never changes.
+    [T = 0]. *)
+
+val clock : (int, int) Ss_sync.Sync_algo.t
+(** Each node counts [0, 1, …, K] and then stops; the input is [K].
+    No communication: [T = max K].  All nodes must share the same
+    [K]. *)
+
+val max_flood : (int, int) Ss_sync.Sync_algo.t
+(** Dual of {!Min_flood.algo}: maximum over the closed neighborhood.
+    [T <= D]. *)

@@ -1,0 +1,1 @@
+lib/baselines/dijkstra_ring.ml: Array Format Int List Ss_sim

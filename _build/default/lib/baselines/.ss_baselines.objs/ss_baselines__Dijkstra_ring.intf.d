@@ -1,0 +1,1 @@
+lib/baselines/dijkstra_ring.mli: Ss_sim

@@ -1,0 +1,1 @@
+lib/baselines/naive_bfs.ml: Array Format Int List Ss_graph Ss_sim

@@ -1,0 +1,1 @@
+lib/baselines/naive_bfs.mli: Ss_graph Ss_sim

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Format Int List Predicates Ss_graph Ss_prelude Ss_sim Ss_sync Trans_state Transformer

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Ss_sim Trans_state Transformer

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Checker List Predicates Ss_graph Ss_sim Trans_state Transformer

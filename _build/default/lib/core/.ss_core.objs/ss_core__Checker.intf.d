@@ -1,0 +1,1 @@
+lib/core/checker.mli: Ss_sim Ss_sync Trans_state Transformer

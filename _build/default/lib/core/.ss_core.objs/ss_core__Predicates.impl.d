@@ -1,0 +1,1 @@
+lib/core/predicates.ml: Array Ss_sim Ss_sync Trans_state

@@ -1,0 +1,1 @@
+lib/core/trans_state.ml: Array Format Printf Ss_prelude

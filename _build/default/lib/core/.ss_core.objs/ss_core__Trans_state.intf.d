@@ -1,0 +1,1 @@
+lib/core/trans_state.mli: Format

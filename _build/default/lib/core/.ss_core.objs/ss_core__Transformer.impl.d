@@ -1,0 +1,1 @@
+lib/core/transformer.ml: Array Predicates Printf Ss_prelude Ss_sim Ss_sync Trans_state

@@ -1,0 +1,1 @@
+lib/core/transformer.mli: Predicates Ss_graph Ss_prelude Ss_sim Ss_sync Trans_state

@@ -1,0 +1,74 @@
+module Algorithm = Ss_sim.Algorithm
+module Config = Ss_sim.Config
+module St = Trans_state
+module P = Predicates
+
+let rename algo suffix =
+  { algo with Algorithm.algo_name = algo.Algorithm.algo_name ^ suffix }
+
+let without_rp params =
+  let algo = Transformer.algorithm params in
+  rename
+    {
+      algo with
+      Algorithm.rules =
+        List.filter
+          (fun r -> r.Algorithm.rule_name <> Transformer.rp)
+          algo.Algorithm.rules;
+    }
+    "/no-RP"
+
+let eager_clear_rule =
+  {
+    Algorithm.rule_name = Transformer.rc;
+    guard =
+      (fun v ->
+        let self = v.Algorithm.self in
+        let h = St.height self in
+        St.in_error self
+        && Array.for_all
+             (fun q -> St.height q <= h || not (St.in_error q))
+             v.Algorithm.neighbors);
+    action = (fun v -> St.with_status v.Algorithm.self St.C);
+  }
+
+let with_eager_clear params =
+  let algo = Transformer.algorithm params in
+  rename
+    {
+      algo with
+      Algorithm.rules =
+        List.map
+          (fun r ->
+            if r.Algorithm.rule_name = Transformer.rc then eager_clear_rule
+            else r)
+          algo.Algorithm.rules;
+    }
+    "/eager-RC"
+
+(* A local copy of the min-flood input algorithm (ss_core does not
+   depend on ss_algos); semantics identical to Ss_algos.Min_flood. *)
+let min_flood : (int, int) Ss_sync.Sync_algo.t =
+  {
+    Ss_sync.Sync_algo.sync_name = "min-flood";
+    equal = Int.equal;
+    init = (fun v -> v);
+    step = (fun _ self neighbors -> Array.fold_left min self neighbors);
+    random_state = (fun rng _ -> Ss_prelude.Rng.int rng 256);
+    state_bits = (fun s -> 1 + Ss_prelude.Util.bit_width (abs s));
+    pp_state = Format.pp_print_int;
+  }
+
+let deadlock_witness () =
+  let params = Transformer.params min_flood in
+  let g = Ss_graph.Builders.path 2 in
+  let inputs p = [| 5; 9 |].(p) in
+  let config =
+    Config.make g ~inputs ~states:(fun p ->
+        if p = 0 then
+          (* Correct node, correct cells, but three levels above its
+             emptied error neighbor. *)
+          St.make ~init:5 ~status:St.C ~cells:[| 5; 5; 5 |]
+        else St.make ~init:9 ~status:St.E ~cells:[||])
+  in
+  (params, config)

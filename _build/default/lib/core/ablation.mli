@@ -1,0 +1,42 @@
+(** Ablated variants of the transformer, for the design-choice
+    experiments.
+
+    The paper motivates each ingredient of the rule set informally
+    (§1.2, §3.2): error broadcasts must {e freeze} the involved nodes,
+    the error DAGs must be {e compressible} ([RP] re-truncating to
+    ever-lower indices), and the lazy test keeps the simulation from
+    running past termination.  The ablations make those motivations
+    measurable:
+
+    - {!without_rp} removes the error-propagation rule entirely.  The
+      result is {e not} self-stabilizing: configurations exist (see
+      {!deadlock_witness}) in which an error root with an empty list
+      faces a tall correct neighbor across a cliff — nobody is
+      enabled, and the system is stuck in an illegitimate terminal
+      configuration.  The §4.1 progress argument ("every configuration
+      with a root has an enabled node") breaks exactly at its [RP]
+      case.
+    - {!with_eager_clear} weakens [RC] by dropping the
+      [|q.h - p.h| <= 1] window: a node may leave the error DAG while
+      neighbors are still several levels away.  This undermines the
+      freeze/feedback discipline; the experiments measure what it
+      costs (extra moves / resets), and the tests check whether
+      correctness survives on the tested workloads. *)
+
+val without_rp :
+  ('s, 'i) Transformer.params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
+(** The transformer with rules [RR], [RC], [RU] only. *)
+
+val with_eager_clear :
+  ('s, 'i) Transformer.params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
+(** The transformer with [RC]'s height window removed (guard becomes
+    [p.s = E ∧ ∀q, q.h <= p.h ∨ q.s = C]). *)
+
+val deadlock_witness :
+  unit ->
+  (int, int) Transformer.params
+  * (int Trans_state.t, int) Ss_sim.Config.t
+(** A two-node min-flood configuration — an error root with an empty
+    list next to a correct node of height 3 — on which {!without_rp}
+    is immediately terminal yet illegitimate, while the full
+    transformer recovers.  Used by tests and the ablation table. *)

@@ -1,0 +1,69 @@
+module Config = Ss_sim.Config
+module Graph = Ss_graph.Graph
+module Trace = Ss_sim.Trace
+module St = Trans_state
+
+let cliffs config =
+  let h = Checker.heights config in
+  List.filter
+    (fun (u, v) -> abs (h.(u) - h.(v)) >= 2)
+    (Graph.edges config.Config.graph)
+
+let is_error_root params config p =
+  St.in_error (Config.state config p)
+  && Predicates.is_root params (Config.view config p)
+
+let has_d_path params config start =
+  let g = config.Config.graph in
+  let h = Checker.heights config in
+  (* Depth-first over strictly decreasing-height steps; heights
+     strictly decrease along the path so no visited set is needed. *)
+  let rec go p =
+    is_error_root params config p
+    || Array.exists (fun q -> h.(q) < h.(p) && go q) (Graph.neighbors g p)
+  in
+  go start
+
+let error_nodes_start_d_paths params config =
+  let rec check p =
+    p >= Config.n config
+    || (((not (St.in_error (Config.state config p)))
+        || has_d_path params config p)
+       && check (p + 1))
+  in
+  check 0
+
+let rootless_implies_cliff_free params config =
+  Checker.has_root params config || cliffs config = []
+
+type segmentation = {
+  boundaries : int list;
+  segments : int;
+  rootless_suffix_from : int option;
+}
+
+let segment params records =
+  let boundaries = ref [] in
+  let rootless_from = ref None in
+  let prev_roots = ref None in
+  List.iter
+    (fun (ev, config) ->
+      (* A segment ends at this step if some node that was a root in
+         the previous configuration executed RC in this step. *)
+      (match !prev_roots with
+      | Some roots ->
+          if
+            List.exists
+              (fun (p, rule) -> rule = Transformer.rc && List.mem p roots)
+              ev.Trace.ev_moved
+          then boundaries := ev.Trace.ev_step :: !boundaries
+      | None -> ());
+      if !rootless_from = None && not (Checker.has_root params config) then
+        rootless_from := Some ev.Trace.ev_step;
+      prev_roots := Some (Checker.roots params config))
+    records;
+  {
+    boundaries = List.rev !boundaries;
+    segments = List.length !boundaries;
+    rootless_suffix_from = !rootless_from;
+  }

@@ -1,0 +1,65 @@
+(** Executable counterparts of the §4 proof structure.
+
+    The complexity proofs rest on a handful of structural notions:
+
+    - {e segments}: the steps of an execution are partitioned so that
+      each step in which at least one root applies [RC] (and thus
+      stops being a root) ends a segment; since roots are never
+      created there are at most [n] such segments followed by one
+      rootless {e simulation phase};
+    - {e D-paths}: a decreasing-height path ending at a root in
+      error; every node in error starts one — this is how the freeze
+      argument tracks who may not simulate;
+    - {e cliffs}: edges whose endpoint heights differ by [>= 2];
+      rootless configurations are cliff-free (the crux of the
+      [O(min(D,B))] recovery bound).
+
+    This module computes all three on configurations and traces, so
+    the proof's intermediate claims become testable invariants rather
+    than prose. *)
+
+val cliffs :
+  ('s Trans_state.t, 'i) Ss_sim.Config.t -> (int * int) list
+(** Edges [(p, q)] with [|h(p) - h(q)| >= 2]. *)
+
+val has_d_path :
+  ('s, 'i) Transformer.params ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  int ->
+  bool
+(** [has_d_path params config p]: does a strictly height-decreasing
+    path from [p] end at a root with status [E]?  (Trivially true when
+    [p] itself is such a root.) *)
+
+val error_nodes_start_d_paths :
+  ('s, 'i) Transformer.params ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  bool
+(** §4.2's key invariant: every node in error is the first node of a
+    D-path — i.e. either a root in error, or connected downhill to
+    one. *)
+
+val rootless_implies_cliff_free :
+  ('s, 'i) Transformer.params ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  bool
+(** The §4.3 crux, as a per-configuration check: if the configuration
+    has no root then it has no cliff.  (Vacuously true when a root
+    remains.) *)
+
+type segmentation = {
+  boundaries : int list;
+      (** Steps (1-based) at which some root applied [RC] — the last
+          steps of the segments, in order. *)
+  segments : int;  (** Number of root-closing segments. *)
+  rootless_suffix_from : int option;
+      (** First step index from which no root remains ([Some 0] when
+          the start was already rootless). *)
+}
+
+val segment :
+  ('s, 'i) Transformer.params ->
+  (Ss_sim.Trace.event * ('s Trans_state.t, 'i) Ss_sim.Config.t) list ->
+  segmentation
+(** Segment a recorded execution (from {!Ss_sim.Trace.with_configs},
+    which includes the initial configuration as step 0). *)

@@ -1,0 +1,71 @@
+module Config = Ss_sim.Config
+module Graph = Ss_graph.Graph
+module Sync_algo = Ss_sync.Sync_algo
+module Sync_runner = Ss_sync.Sync_runner
+module St = Trans_state
+
+let roots params config =
+  List.filter
+    (fun p -> Predicates.is_root params (Config.view config p))
+    (Ss_prelude.Util.range (Config.n config))
+
+let has_root params config =
+  List.exists
+    (fun p -> Predicates.is_root params (Config.view config p))
+    (Ss_prelude.Util.range (Config.n config))
+
+let heights config = Array.map St.height config.Config.states
+
+let error_count config =
+  Array.fold_left
+    (fun acc st -> if St.in_error st then acc + 1 else acc)
+    0 config.Config.states
+
+let max_cliff config =
+  let h = heights config in
+  List.fold_left
+    (fun acc (u, v) -> max acc (abs (h.(u) - h.(v))))
+    0
+    (Graph.edges config.Config.graph)
+
+let space_bits params config =
+  let bits = params.Transformer.sync.Sync_algo.state_bits in
+  Array.fold_left
+    (fun acc st ->
+      let cell_bits =
+        Array.fold_left (fun b s -> b + bits s) 0 st.St.cells
+      in
+      max acc (1 + bits st.St.init + cell_bits))
+    0 config.Config.states
+
+let simulates_history params history config =
+  let eq = params.Transformer.sync.Sync_algo.equal in
+  let ok p =
+    let st = Config.state config p in
+    (not (St.in_error st))
+    && eq st.St.init (Sync_runner.state_at history ~round:0 ~node:p)
+    &&
+    let rec cells i =
+      i > St.height st
+      || (eq (St.cell st i) (Sync_runner.state_at history ~round:i ~node:p)
+         && cells (i + 1))
+    in
+    cells 1
+  in
+  let rec go p = p >= Config.n config || (ok p && go (p + 1)) in
+  go 0
+
+let legitimate_terminal params history config =
+  let algo = Transformer.algorithm params in
+  if not (Config.is_terminal algo config) then
+    Error "configuration is not terminal"
+  else if has_root params config then Error "terminal configuration has a root"
+  else begin
+    let h = heights config in
+    let h0 = if Array.length h = 0 then 0 else h.(0) in
+    if not (Array.for_all (fun x -> x = h0) h) then
+      Error "terminal heights are not all equal"
+    else if not (simulates_history params history config) then
+      Error "terminal lists do not match the synchronous history"
+    else Ok ()
+  end

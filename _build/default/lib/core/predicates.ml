@@ -1,0 +1,88 @@
+module Algorithm = Ss_sim.Algorithm
+module Sync_algo = Ss_sync.Sync_algo
+module St = Trans_state
+
+type mode = Lazy | Greedy
+type bound = Finite of int | Infinite
+
+type ('s, 'i) params = {
+  sync : ('s, 'i) Sync_algo.t;
+  mode : mode;
+  bound : bound;
+}
+
+type ('s, 'i) view = ('s Trans_state.t, 'i) Algorithm.view
+
+let below_bound b h = match b with Finite b -> h < b | Infinite -> true
+let bound_to_int = function Finite b -> b | Infinite -> max_int
+
+let algo_hat params (v : ('s, 'i) view) i =
+  params.sync.Sync_algo.step v.Algorithm.input
+    (St.cell v.Algorithm.self i)
+    (Array.map (fun nb -> St.cell nb i) v.Algorithm.neighbors)
+
+let min_neighbor_height (v : ('s, 'i) view) =
+  Array.fold_left
+    (fun acc nb -> min acc (St.height nb))
+    max_int v.Algorithm.neighbors
+
+let algo_err params (v : ('s, 'i) view) =
+  let self = v.Algorithm.self in
+  let h = St.height self in
+  let min_nb = min_neighbor_height v in
+  (* Cell i is checkable when all dependencies exist: i - 1 <= q.h for
+     every neighbor q, i.e. i <= min_nb + 1 (beware overflow when the
+     node has no neighbors). *)
+  let top_checkable = if min_nb = max_int then h else min h (min_nb + 1) in
+  let rec bad i =
+    i <= top_checkable
+    && ((not
+           (params.sync.Sync_algo.equal (St.cell self i)
+              (algo_hat params v (i - 1))))
+       || bad (i + 1))
+  in
+  bad 1
+
+let dep_err _params (v : ('s, 'i) view) =
+  let self = v.Algorithm.self in
+  let h = St.height self in
+  let nbs = v.Algorithm.neighbors in
+  match self.St.status with
+  | St.E -> not (Array.exists (fun q -> St.in_error q && St.height q < h) nbs)
+  | St.C -> Array.exists (fun q -> St.height q >= h + 2) nbs
+
+let is_root params v = algo_err params v || dep_err params v
+
+let err_prop_index _params (v : ('s, 'i) view) =
+  let h = St.height v.Algorithm.self in
+  (* The smallest valid i is (min height of an error neighbor) + 1;
+     it must satisfy q.h < i < p.h. *)
+  let best = ref max_int in
+  Array.iter
+    (fun q -> if St.in_error q then best := min !best (St.height q))
+    v.Algorithm.neighbors;
+  if !best < max_int && !best + 1 < h then Some (!best + 1) else None
+
+let can_clear_e _params (v : ('s, 'i) view) =
+  let self = v.Algorithm.self in
+  let h = St.height self in
+  St.in_error self
+  && Array.for_all
+       (fun q ->
+         let hq = St.height q in
+         abs (hq - h) <= 1 && (hq <= h || not (St.in_error q)))
+       v.Algorithm.neighbors
+
+let updatable params (v : ('s, 'i) view) =
+  let self = v.Algorithm.self in
+  let h = St.height self in
+  (not (St.in_error self))
+  && below_bound params.bound h
+  && Array.for_all
+       (fun q ->
+         let hq = St.height q in
+         h <= hq && hq <= h + 1)
+       v.Algorithm.neighbors
+  && (params.mode = Greedy
+     || (not (params.sync.Sync_algo.equal (St.top self) (algo_hat params v h)))
+     || Array.exists (fun q -> St.height q > h) v.Algorithm.neighbors)

@@ -1,0 +1,68 @@
+(** The transformer's guard predicates (paper §3.1).
+
+    All predicates are evaluated over a node's {!Ss_sim.Algorithm.view}
+    whose states are {!Trans_state.t}; they only inspect the node's
+    own state and the {e set} of neighbor states, as required by the
+    weak model (§2.2). *)
+
+type mode = Lazy | Greedy
+(** Lazy simulates a new round only when necessary; greedy simulates
+    all [B] rounds (§3.1). *)
+
+type bound = Finite of int | Infinite
+(** The upper bound [B] on the synchronous execution time [T];
+    [Infinite] encodes [B = +∞]. *)
+
+type ('s, 'i) params = {
+  sync : ('s, 'i) Ss_sync.Sync_algo.t;  (** The simulated algorithm. *)
+  mode : mode;
+  bound : bound;
+}
+
+type ('s, 'i) view = ('s Trans_state.t, 'i) Ss_sim.Algorithm.view
+(** What a transformer node observes. *)
+
+val below_bound : bound -> int -> bool
+(** [below_bound b h] is [h < B] ([true] when [B = +∞]). *)
+
+val bound_to_int : bound -> int
+(** [Finite b -> b], [Infinite -> max_int] (for caps in experiments). *)
+
+val algo_hat : ('s, 'i) params -> ('s, 'i) view -> int -> 's
+(** [algo_hat params v i] is the paper's [algô(p, i)]: the simulated
+    algorithm applied by the node when every node of its closed
+    neighborhood is in the state of its cell [i].  All heights in the
+    closed neighborhood must be [>= i] — guaranteed by the guards that
+    call it.
+    @raise Invalid_argument when a dependency is missing. *)
+
+val min_neighbor_height : ('s, 'i) view -> int
+(** Smallest neighbor height ([max_int] when there are no neighbors). *)
+
+val algo_err : ('s, 'i) params -> ('s, 'i) view -> bool
+(** [algoErr(p)]: some cell [1 <= i <= h] has all its dependencies
+    present ([∀q, q.h >= i-1]) yet differs from [algô(p, i-1)]. *)
+
+val dep_err : ('s, 'i) params -> ('s, 'i) view -> bool
+(** [depErr(p)]: the node is in error without an error neighbor of
+    smaller height, or is correct while some neighbor towers [>= h+2]
+    above it. *)
+
+val is_root : ('s, 'i) params -> ('s, 'i) view -> bool
+(** [root(p) = algoErr(p) ∨ depErr(p)] — the detector of "major
+    errors" that launches an error broadcast. *)
+
+val err_prop_index : ('s, 'i) params -> ('s, 'i) view -> int option
+(** The smallest [i] with [errProp(p, i) = ∃q, q.s = E ∧ q.h < i < p.h]
+    (the highest-priority enabled [RP(i)] rule), if any. *)
+
+val can_clear_e : ('s, 'i) params -> ('s, 'i) view -> bool
+(** [canClearE(p)]: in error, all neighbor heights within one of the
+    node's, and no higher neighbor still in error — the node may leave
+    the error DAG. *)
+
+val updatable : ('s, 'i) params -> ('s, 'i) view -> bool
+(** [updatable(p)]: correct status, list not full, neighbor heights in
+    [\[h, h+1\]], and — in lazy mode — a reason to go on: either the
+    simulation has not terminated at height [h] or some neighbor is
+    already ahead. *)

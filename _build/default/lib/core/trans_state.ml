@@ -1,0 +1,36 @@
+type status = C | E
+type 's t = { init : 's; status : status; cells : 's array }
+
+let make ~init ~status ~cells = { init; status; cells }
+let clean init = { init; status = C; cells = [||] }
+let height st = Array.length st.cells
+
+let cell st i =
+  if i = 0 then st.init
+  else if i >= 1 && i <= height st then st.cells.(i - 1)
+  else invalid_arg (Printf.sprintf "Trans_state.cell: index %d, height %d" i (height st))
+
+let top st = cell st (height st)
+
+let truncate st i =
+  if i < 0 || i > height st then invalid_arg "Trans_state.truncate";
+  { st with cells = Array.sub st.cells 0 i }
+
+let extend st s = { st with cells = Array.append st.cells [| s |] }
+let with_status st status = { st with status }
+let in_error st = st.status = E
+
+let equal eq a b =
+  a.status = b.status && eq a.init b.init
+  && Ss_prelude.Util.array_equal eq a.cells b.cells
+
+let pp_status ppf = function
+  | C -> Format.pp_print_string ppf "C"
+  | E -> Format.pp_print_string ppf "E"
+
+let pp pp_state ppf st =
+  Format.fprintf ppf "{%a h=%d [%a]}" pp_status st.status (height st)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_state)
+    (Array.to_list st.cells)

@@ -1,0 +1,55 @@
+(** The transformer's node state (paper §3.1).
+
+    A node state consists of:
+    - [init]: the node's initial state in the simulated algorithm —
+      read-only (never written by a rule, never corrupted by faults);
+    - [status]: [C] (correct) or [E] (in error);
+    - [cells]: the simulation list [L], cell [i] (1-based) ultimately
+      holding [st_p^i], the state of the node at round [i] of the
+      synchronous execution.
+
+    By convention [L(0) = init]; the {e height} [h] of a node is the
+    length of its list. *)
+
+type status = C | E
+
+type 's t = { init : 's; status : status; cells : 's array }
+
+val make : init:'s -> status:status -> cells:'s array -> 's t
+(** Plain constructor. *)
+
+val clean : 's -> 's t
+(** [clean init] is the controlled initial state: status [C], empty
+    list. *)
+
+val height : 's t -> int
+(** [height st] is [h], the length of the list. *)
+
+val cell : 's t -> int -> 's
+(** [cell st i] is [L(i)] for [0 <= i <= height st]; [cell st 0] is
+    [init].
+    @raise Invalid_argument when [i] is out of range. *)
+
+val top : 's t -> 's
+(** [top st = cell st (height st)] — the newest simulated state. *)
+
+val truncate : 's t -> int -> 's t
+(** [truncate st i] cuts the list down to height [i <= height st]. *)
+
+val extend : 's t -> 's -> 's t
+(** [extend st s] appends [s], increasing the height by one. *)
+
+val with_status : 's t -> status -> 's t
+(** Replace the status. *)
+
+val in_error : 's t -> bool
+(** [status = E]. *)
+
+val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
+(** Structural equality given a state equality. *)
+
+val pp :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's t -> unit
+(** Renders status, height and list contents. *)
+
+val pp_status : Format.formatter -> status -> unit

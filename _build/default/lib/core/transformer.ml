@@ -1,0 +1,139 @@
+module Algorithm = Ss_sim.Algorithm
+module Config = Ss_sim.Config
+module Engine = Ss_sim.Engine
+module Sync_algo = Ss_sync.Sync_algo
+module Rng = Ss_prelude.Rng
+module St = Trans_state
+module P = Predicates
+
+type ('s, 'i) params = ('s, 'i) P.params = {
+  sync : ('s, 'i) Sync_algo.t;
+  mode : P.mode;
+  bound : P.bound;
+}
+
+let params ?(mode = P.Lazy) ?(bound = P.Infinite) sync =
+  (match (mode, bound) with
+  | P.Greedy, P.Infinite ->
+      invalid_arg "Transformer.params: greedy mode requires a finite bound"
+  | _, P.Finite b when b <= 0 ->
+      invalid_arg "Transformer.params: the bound must be positive"
+  | _ -> ());
+  { sync; mode; bound }
+
+let rr = "RR"
+let rp = "RP"
+let rc = "RC"
+let ru = "RU"
+
+let rule_rr p =
+  {
+    Algorithm.rule_name = rr;
+    guard =
+      (fun v ->
+        let self = v.Algorithm.self in
+        (St.height self > 0 || not (St.in_error self)) && P.is_root p v);
+    action =
+      (fun v -> { v.Algorithm.self with St.status = St.E; cells = [||] });
+  }
+
+let rule_rp p =
+  {
+    Algorithm.rule_name = rp;
+    guard = (fun v -> P.err_prop_index p v <> None);
+    action =
+      (fun v ->
+        match P.err_prop_index p v with
+        | Some i -> St.with_status (St.truncate v.Algorithm.self i) St.E
+        | None -> assert false);
+  }
+
+let rule_rc p =
+  {
+    Algorithm.rule_name = rc;
+    guard = (fun v -> P.can_clear_e p v);
+    action = (fun v -> St.with_status v.Algorithm.self St.C);
+  }
+
+let rule_ru p =
+  {
+    Algorithm.rule_name = ru;
+    guard = (fun v -> P.updatable p v);
+    action =
+      (fun v ->
+        let self = v.Algorithm.self in
+        St.extend self (P.algo_hat p v (St.height self)));
+  }
+
+let algorithm p =
+  {
+    Algorithm.algo_name =
+      Printf.sprintf "trans(%s,%s,B=%s)" p.sync.Sync_algo.sync_name
+        (match p.mode with P.Lazy -> "lazy" | P.Greedy -> "greedy")
+        (match p.bound with P.Infinite -> "inf" | P.Finite b -> string_of_int b);
+    equal = St.equal p.sync.Sync_algo.equal;
+    rules = [ rule_rr p; rule_rp p; rule_rc p; rule_ru p ];
+    pp_state = St.pp p.sync.Sync_algo.pp_state;
+  }
+
+let clean_config p g ~inputs =
+  Config.make g ~inputs ~states:(fun node ->
+      St.clean (p.sync.Sync_algo.init (inputs node)))
+
+let corrupt_state rng ~max_height params input (st : 's St.t) =
+  let cap = min max_height (P.bound_to_int params.bound) in
+  let random_cells input len =
+    Array.init len (fun _ -> params.sync.Sync_algo.random_state rng input)
+  in
+    match Rng.int rng 5 with
+    | 0 ->
+        (* Full scramble: fresh status, height and contents. *)
+        let h = Rng.int rng (cap + 1) in
+        {
+          St.init = st.St.init;
+          status = (if Rng.bool rng then St.C else St.E);
+          cells = random_cells input h;
+        }
+    | 1 ->
+        (* Truncation. *)
+        let h = St.height st in
+        if h = 0 then St.with_status st (if Rng.bool rng then St.C else St.E)
+        else St.truncate st (Rng.int rng h)
+    | 2 ->
+        (* Garbage extension. *)
+        let extra = Rng.int rng (max 1 (cap - St.height st + 1)) in
+        {
+          st with
+          St.cells =
+            Array.append st.St.cells (random_cells input extra);
+        }
+    | 3 ->
+        (* Single-cell flip. *)
+        let h = St.height st in
+        if h = 0 then
+          { st with St.cells = random_cells input (min 1 cap) }
+        else begin
+          let i = Rng.int rng h in
+          let cells = Array.copy st.St.cells in
+          cells.(i) <- params.sync.Sync_algo.random_state rng input;
+          { st with St.cells = cells }
+        end
+    | _ ->
+        (* Status flip. *)
+        St.with_status st (if St.in_error st then St.C else St.E)
+
+let corrupt rng ?(p = 1.0) ~max_height params config =
+  let states =
+    Array.mapi
+      (fun node st ->
+        if Rng.chance rng p then
+          corrupt_state rng ~max_height params (Config.input config node) st
+        else st)
+      config.Config.states
+  in
+  Config.with_states config states
+
+let run ?max_steps ?observer p daemon config =
+  Engine.run ?max_steps ?observer (algorithm p) daemon config
+
+let outputs config = Array.map St.top config.Config.states

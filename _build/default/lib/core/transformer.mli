@@ -1,0 +1,101 @@
+(** The transformer [Trans(AlgI)] (paper §3) — the core contribution.
+
+    Given a terminating synchronous algorithm, a bound [B] on its
+    execution time and a mode, [algorithm] produces a fully
+    asynchronous {e silent self-stabilizing} atomic-state algorithm
+    that simulates it with the Table 1 guarantees:
+
+    - lazy mode: [O(min(n³+nT, n²B))] moves, [O(D+T)] rounds;
+    - greedy mode: [O(min(n³+nB, n²B))] moves, [O(B)] rounds;
+    - error recovery (both): [O(min(n³, n²B))] moves,
+      [O(min(D, B))] rounds;
+    - space: [O(B·S)] bits per node.
+
+    The four rules, in decreasing priority:
+    - [RR] — a {e root} (a node satisfying [algoErr ∨ depErr]) starts
+      an error broadcast: it empties its list and turns status [E];
+    - [RP(i)] — error propagation / DAG compression: a node with an
+      error neighbor of height [< i < h] truncates to the smallest
+      such [i] and turns [E] (smaller [i] has higher priority);
+    - [RC] — feedback: a node that can no longer gain children leaves
+      the error DAG by turning [C];
+    - [RU] — simulation: an up-to-date node extends its list with
+      [algô(p, h)]. *)
+
+type ('s, 'i) params = ('s, 'i) Predicates.params = {
+  sync : ('s, 'i) Ss_sync.Sync_algo.t;
+  mode : Predicates.mode;
+  bound : Predicates.bound;
+}
+
+val params :
+  ?mode:Predicates.mode ->
+  ?bound:Predicates.bound ->
+  ('s, 'i) Ss_sync.Sync_algo.t ->
+  ('s, 'i) params
+(** [params sync] defaults to lazy mode with [B = +∞].
+    @raise Invalid_argument for greedy mode with an infinite bound
+    (the simulation would never become silent) or a non-positive
+    finite bound. *)
+
+val rr : string
+(** Rule label ["RR"]. *)
+
+val rp : string
+(** Rule label ["RP"]. *)
+
+val rc : string
+(** Rule label ["RC"]. *)
+
+val ru : string
+(** Rule label ["RU"]. *)
+
+val algorithm :
+  ('s, 'i) params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
+(** The transformed algorithm, ready for {!Ss_sim.Engine.run}. *)
+
+val clean_config :
+  ('s, 'i) params ->
+  Ss_graph.Graph.t ->
+  inputs:(int -> 'i) ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t
+(** The controlled initial configuration: every node has status [C]
+    and an empty list. *)
+
+val corrupt :
+  Ss_prelude.Rng.t ->
+  ?p:float ->
+  max_height:int ->
+  ('s, 'i) params ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t
+(** [corrupt rng ~max_height params config] models transient faults:
+    each node is hit independently with probability [p] (default 1)
+    and its state is replaced by one of several corruption patterns —
+    full scramble, truncation, garbage extension, single-cell flip, or
+    status flip.  Heights never exceed [min(max_height, B)] and the
+    read-only [init] field is preserved. *)
+
+val corrupt_state :
+  Ss_prelude.Rng.t ->
+  max_height:int ->
+  ('s, 'i) params ->
+  'i ->
+  's Trans_state.t ->
+  's Trans_state.t
+(** Single-state corruption, as applied per node by {!corrupt}.  Also
+    used to corrupt the neighbor {e mirrors} of the message-passing
+    emulation. *)
+
+val run :
+  ?max_steps:int ->
+  ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
+  ('s, 'i) params ->
+  Ss_sim.Daemon.t ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Trans_state.t, 'i) Ss_sim.Engine.stats
+(** Convenience wrapper over {!Ss_sim.Engine.run}. *)
+
+val outputs : ('s Trans_state.t, 'i) Ss_sim.Config.t -> 's array
+(** The simulated algorithm's outputs: each node's newest cell
+    [L(h)]. *)

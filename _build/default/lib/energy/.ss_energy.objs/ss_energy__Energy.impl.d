@@ -1,0 +1,1 @@
+lib/energy/energy.ml: Array Int64 List Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,1 @@
+lib/energy/energy.mli: Ss_core Ss_sim Ss_sync

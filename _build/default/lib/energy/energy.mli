@@ -1,0 +1,68 @@
+(** The message/energy cost model of paper §6.
+
+    The atomic-state model has no messages, but an implementation in a
+    message-passing system makes each moving node inform its neighbors
+    of its state change, and makes all nodes periodically exchange
+    {e proofs} of their states (a salted hash plus its nonce) to detect
+    transient faults.  §6 argues that:
+
+    - the number of algorithm messages is governed by the {e move}
+      count (each move triggers [deg(p)] messages);
+    - sending whole states costs [O(B·S)] bits per message, while
+      {e delta encoding} (2 bits of rule label, plus [O(log B)] bits
+      for [RP]'s new height or [O(S)] bits for [RU]'s new cell) brings
+      each message down to [O(S + log B)];
+    - proof heartbeats are small and can be rare.
+
+    This module measures all three quantities over actual simulator
+    executions of the transformer. *)
+
+type cost = {
+  moves : int;  (** Total moves of the execution. *)
+  messages : int;  (** Algorithm messages: [Σ deg(p)] over moves. *)
+  bits_full_state : int;
+      (** Total bits if every message carries the sender's whole
+          transformed state. *)
+  bits_delta : int;
+      (** Total bits under §6's delta encoding: 2 bits of rule label
+          plus the rule's payload. *)
+  heartbeat_messages : int;
+      (** Proof messages: one per node per neighbor every
+          [heartbeat_period] completed rounds. *)
+  heartbeat_bits : int;  (** [heartbeat_messages * (proof_bits + nonce_bits)]. *)
+  rounds : int;
+  terminated : bool;
+}
+
+val height_bits : Ss_core.Predicates.bound -> int
+(** Bits needed to transmit a height [<= B] ([log₂(B+1)], and 32 for
+    an infinite bound — a practical word). *)
+
+val state_proof : nonce:int64 -> string -> int64
+(** The §6 proof of a (serialized) state: a 64-bit hash of the state
+    salted with the nonce.  Exposed so tests can check that proofs
+    discriminate distinct states. *)
+
+val full_state_bits :
+  ('s, 'i) Ss_sync.Sync_algo.t -> 's Ss_core.Trans_state.t -> int
+(** Bits of a whole transformed state: 1 status bit plus the sizes of
+    [init] and every cell. *)
+
+val delta_bits :
+  ('s, 'i) Ss_core.Transformer.params -> 's Ss_core.Trans_state.t -> string -> int
+(** Bits of §6's delta encoding for a move that produced the given
+    state under the given rule label: 2 label bits, plus the new
+    height for [RP] or the new cell for [RU]. *)
+
+val measure :
+  ?proof_bits:int ->
+  ?nonce_bits:int ->
+  ?heartbeat_period:int ->
+  ?max_steps:int ->
+  ('s, 'i) Ss_core.Transformer.params ->
+  Ss_sim.Daemon.t ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Engine.stats * cost
+(** Run the transformer and account message costs (defaults:
+    [proof_bits = 64], [nonce_bits = 64], [heartbeat_period = 16]
+    rounds). *)

@@ -1,0 +1,1 @@
+lib/expt/ablation_expt.ml: List Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify

@@ -1,0 +1,1 @@
+lib/expt/ablation_expt.mli: Ss_prelude

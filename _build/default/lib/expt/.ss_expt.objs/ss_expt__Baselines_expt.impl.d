@@ -1,0 +1,1 @@
+lib/expt/baselines_expt.ml: List Measure Ss_algos Ss_baselines Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify

@@ -1,0 +1,1 @@
+lib/expt/baselines_expt.mli: Ss_prelude

@@ -1,0 +1,1 @@
+lib/expt/blowup_expt.ml: Array List Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_rollback Ss_sim Ss_verify

@@ -1,0 +1,1 @@
+lib/expt/blowup_expt.mli: Ss_prelude Ss_sim

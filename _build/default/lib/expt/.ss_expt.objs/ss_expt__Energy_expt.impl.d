@@ -1,0 +1,1 @@
+lib/expt/energy_expt.ml: List Printf Ss_algos Ss_core Ss_energy Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify

@@ -1,0 +1,1 @@
+lib/expt/energy_expt.mli: Ss_prelude

@@ -1,0 +1,1 @@
+lib/expt/instances.mli: Ss_prelude

@@ -1,0 +1,1 @@
+lib/expt/locality_expt.ml: Format Int List Measure Ss_algos Ss_core Ss_graph Ss_prelude Ss_sync Ss_verify

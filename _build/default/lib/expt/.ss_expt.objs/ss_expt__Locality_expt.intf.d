@@ -1,0 +1,1 @@
+lib/expt/locality_expt.mli: Ss_prelude

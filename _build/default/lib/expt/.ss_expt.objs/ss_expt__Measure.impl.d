@@ -1,0 +1,1 @@
+lib/expt/measure.ml: List Ss_prelude Ss_verify

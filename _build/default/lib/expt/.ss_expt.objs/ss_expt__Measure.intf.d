@@ -1,0 +1,1 @@
+lib/expt/measure.mli: Ss_sim Ss_verify

@@ -1,0 +1,1 @@
+lib/expt/msgnet_expt.ml: List Ss_algos Ss_core Ss_graph Ss_msgnet Ss_prelude Ss_sync

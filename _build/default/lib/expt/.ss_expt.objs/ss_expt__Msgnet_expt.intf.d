@@ -1,0 +1,1 @@
+lib/expt/msgnet_expt.mli: Ss_prelude

@@ -1,0 +1,1 @@
+lib/expt/table1.ml: List Measure Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sync Ss_verify Workloads

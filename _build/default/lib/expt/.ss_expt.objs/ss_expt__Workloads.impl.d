@@ -1,0 +1,1 @@
+lib/expt/workloads.ml: List Ss_graph Ss_prelude

@@ -1,0 +1,1 @@
+lib/expt/workloads.mli: Ss_graph Ss_prelude

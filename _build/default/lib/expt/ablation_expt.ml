@@ -1,0 +1,92 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module Engine = Ss_sim.Engine
+module Transformer = Ss_core.Transformer
+module Ablation = Ss_core.Ablation
+module Checker = Ss_core.Checker
+module Stabilization = Ss_verify.Stabilization
+module Leader = Ss_algos.Leader_election
+
+type tally = {
+  mutable runs : int;
+  mutable terminated : int;
+  mutable legitimate : int;
+  mutable max_moves : int;
+  mutable max_rounds : int;
+}
+
+let fresh_tally () =
+  { runs = 0; terminated = 0; legitimate = 0; max_moves = 0; max_rounds = 0 }
+
+let rows ?(seeds = [ 1; 2; 3 ]) rng =
+  let table =
+    Table.create
+      [
+        "variant"; "runs"; "terminated"; "legitimate"; "max-moves";
+        "max-rounds";
+      ]
+  in
+  let workloads =
+    [
+      Ss_graph.Builders.path 12;
+      Ss_graph.Builders.cycle 12;
+      Ss_graph.Builders.binary_tree 15;
+      Ss_graph.Builders.random_connected (Rng.split rng) ~n:14 ~extra_edges:6;
+    ]
+  in
+  let variants =
+    [
+      ("full", Transformer.algorithm);
+      ("no-RP", Ablation.without_rp);
+      ("eager-RC", Ablation.with_eager_clear);
+    ]
+  in
+  List.iter
+    (fun (name, make_algo) ->
+      let tally = fresh_tally () in
+      List.iter
+        (fun g ->
+          let inputs = Leader.random_ids (Rng.split rng) g in
+          let params = Transformer.params Leader.algo in
+          let sc = { Stabilization.params; graph = g; inputs } in
+          let hist = Stabilization.history sc in
+          let t = hist.Ss_sync.Sync_runner.t in
+          let algo = make_algo params in
+          List.iter
+            (fun seed ->
+              let seed_rng = Rng.create seed in
+              List.iter
+                (fun (_dn, daemon) ->
+                  let start =
+                    Stabilization.corrupted_start (Rng.split seed_rng)
+                      ~max_height:(t + 4) sc
+                  in
+                  (* A step budget: non-stabilizing variants may stall
+                     in a live-lock rather than a deadlock. *)
+                  let stats =
+                    Engine.run ~max_steps:200_000 algo daemon start
+                  in
+                  tally.runs <- tally.runs + 1;
+                  if stats.Engine.terminated then begin
+                    tally.terminated <- tally.terminated + 1;
+                    if
+                      Checker.legitimate_terminal params hist stats.Engine.final
+                      = Ok ()
+                    then tally.legitimate <- tally.legitimate + 1
+                  end;
+                  tally.max_moves <- max tally.max_moves stats.Engine.moves;
+                  tally.max_rounds <- max tally.max_rounds stats.Engine.rounds)
+                (Stabilization.daemon_portfolio seed_rng))
+            seeds)
+        workloads;
+      Table.add_row table
+        [
+          name;
+          string_of_int tally.runs;
+          string_of_int tally.terminated;
+          string_of_int tally.legitimate;
+          string_of_int tally.max_moves;
+          string_of_int tally.max_rounds;
+        ])
+    variants;
+  table

@@ -1,0 +1,130 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module G = Ss_graph
+module Config = Ss_sim.Config
+module Engine = Ss_sim.Engine
+module Transformer = Ss_core.Transformer
+module Stabilization = Ss_verify.Stabilization
+module Bfs = Ss_algos.Bfs_tree
+module Naive = Ss_baselines.Naive_bfs
+module Dijkstra = Ss_baselines.Dijkstra_ring
+
+let naive_worst_case rng g ~root seeds =
+  let inputs = Naive.inputs g ~root () in
+  let worst_moves = ref 0 and worst_rounds = ref 0 and ok = ref true in
+  List.iter
+    (fun seed ->
+      let seed_rng = Rng.create (seed * 31) in
+      List.iter
+        (fun (_name, daemon) ->
+          (* Adversarial start: every non-root estimate is 0 — the
+             classic underestimate flood. *)
+          let start =
+            Config.make g ~inputs ~states:(fun _ -> 0)
+          in
+          let stats = Engine.run ~max_steps:5_000_000 Naive.algo daemon start in
+          worst_moves := max !worst_moves stats.Engine.moves;
+          worst_rounds := max !worst_rounds stats.Engine.rounds;
+          ok :=
+            !ok && stats.Engine.terminated
+            && Naive.spec_holds g ~root ~final:stats.Engine.final.Config.states)
+        (Stabilization.daemon_portfolio seed_rng))
+    seeds;
+  ignore rng;
+  (!worst_moves, !worst_rounds, !ok)
+
+let transformed_worst_case rng g ~root seeds =
+  let inputs = Bfs.inputs g ~root in
+  let sc =
+    { Stabilization.params = Transformer.params Bfs.algo; graph = g; inputs }
+  in
+  let t = (Stabilization.history sc).Ss_sync.Sync_runner.t in
+  let agg =
+    Measure.worst_case ~seeds ~max_height:(t + 4)
+      ~spec:(fun final -> Bfs.spec_holds g ~root ~final)
+      sc
+  in
+  ignore rng;
+  (agg.Measure.max_moves, agg.Measure.max_rounds,
+   agg.Measure.all_legitimate && agg.Measure.all_spec)
+
+let bfs_rows ?(seeds = [ 1; 2 ]) rng =
+  let table =
+    Table.create
+      [
+        "graph"; "n"; "D"; "naive-moves"; "naive-adv-moves"; "trans-moves";
+        "trans-rounds"; "ok";
+      ]
+  in
+  let workloads =
+    [
+      ("path", G.Builders.path 24);
+      ("lollipop", G.Builders.lollipop ~clique:8 ~tail:16);
+      ("grid", G.Builders.grid ~rows:4 ~cols:6);
+      ("random", G.Builders.random_connected (Rng.split rng) ~n:24 ~extra_edges:12);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let root = 0 in
+      let nm, _nr, nok = naive_worst_case (Rng.split rng) g ~root seeds in
+      let adv_moves, adv_ok =
+        Naive.adversarial_run
+          (Config.make g ~inputs:(Naive.inputs g ~root ()) ~states:(fun _ -> 0))
+      in
+      let tm, tr, tok = transformed_worst_case (Rng.split rng) g ~root seeds in
+      Table.add_row table
+        [
+          name;
+          string_of_int (G.Graph.n g);
+          string_of_int (G.Properties.diameter g);
+          string_of_int nm;
+          string_of_int adv_moves;
+          string_of_int tm;
+          string_of_int tr;
+          (if nok && tok && adv_ok then "yes" else "NO");
+        ])
+    workloads;
+  table
+
+let dijkstra_rows ?(seeds = [ 1; 2; 3 ]) rng =
+  let table =
+    Table.create [ "n"; "K"; "steps-to-legit"; "moves-to-legit"; "closure" ]
+  in
+  List.iter
+    (fun n ->
+      let g = G.Builders.cycle n in
+      let inputs = Dijkstra.inputs ~n () in
+      let worst_steps = ref 0 and worst_moves = ref 0 and closure = ref true in
+      List.iter
+        (fun seed ->
+          let seed_rng = Rng.create (seed * 17) in
+          let start =
+            Config.make g ~inputs ~states:(fun _ ->
+                Rng.int seed_rng (n + 1))
+          in
+          List.iter
+            (fun (_name, daemon) ->
+              match Dijkstra.run_to_legitimacy daemon start with
+              | Some (steps, moves, legit_config) ->
+                  worst_steps := max !worst_steps steps;
+                  worst_moves := max !worst_moves moves;
+                  closure :=
+                    !closure
+                    && Dijkstra.closure_holds
+                         (Ss_sim.Daemon.central_random (Rng.split seed_rng))
+                         legit_config
+              | None -> closure := false)
+            (Stabilization.daemon_portfolio seed_rng))
+        seeds;
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int (n + 1);
+          string_of_int !worst_steps;
+          string_of_int !worst_moves;
+          (if !closure then "yes" else "NO");
+        ])
+    [ 5; 9; 17; 33 ];
+  ignore rng;
+  table

@@ -1,0 +1,168 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module G = Ss_graph
+module P = Ss_core.Predicates
+module Transformer = Ss_core.Transformer
+module Stabilization = Ss_verify.Stabilization
+module Sync_runner = Ss_sync.Sync_runner
+module Leader = Ss_algos.Leader_election
+module Bfs = Ss_algos.Bfs_tree
+module Cv = Ss_algos.Cole_vishkin
+module Sp = Ss_algos.Shortest_path
+
+let default_seeds = [ 1; 2 ]
+
+let leader_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [ "family"; "n"; "D"; "rounds"; "D+T"; "moves"; "n^3"; "spec"; "legit" ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let inputs = Leader.random_ids (Rng.split rng) w.Workloads.graph in
+      let sc =
+        {
+          Stabilization.params = Transformer.params Leader.algo;
+          graph = w.Workloads.graph;
+          inputs;
+        }
+      in
+      let t = (Stabilization.history sc).Sync_runner.t in
+      let spec final =
+        Leader.spec_holds w.Workloads.graph ~inputs ~final
+      in
+      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+      Table.add_row table
+        [
+          w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int w.Workloads.diameter;
+          string_of_int agg.Measure.max_rounds;
+          string_of_int (w.Workloads.diameter + t);
+          string_of_int agg.Measure.max_moves;
+          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+          (if agg.Measure.all_spec then "yes" else "NO");
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    (Workloads.diameter_sweep () @ Workloads.standard rng);
+  table
+
+let bfs_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [ "family"; "n"; "D"; "rounds"; "D+T"; "moves"; "n^3"; "spec"; "legit" ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let root = 0 in
+      let inputs = Bfs.inputs w.Workloads.graph ~root in
+      let sc =
+        {
+          Stabilization.params = Transformer.params Bfs.algo;
+          graph = w.Workloads.graph;
+          inputs;
+        }
+      in
+      let t = (Stabilization.history sc).Sync_runner.t in
+      let spec final = Bfs.spec_holds w.Workloads.graph ~root ~final in
+      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+      Table.add_row table
+        [
+          w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int w.Workloads.diameter;
+          string_of_int agg.Measure.max_rounds;
+          string_of_int (w.Workloads.diameter + t);
+          string_of_int agg.Measure.max_moves;
+          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+          (if agg.Measure.all_spec then "yes" else "NO");
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    (Workloads.standard rng);
+  table
+
+let cv_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [
+        "n"; "width"; "log*n"; "T"; "B"; "rounds"; "moves"; "n^2*B"; "spec";
+        "legit";
+      ]
+  in
+  List.iter
+    (fun (n, width) ->
+      let g = G.Builders.cycle n in
+      let ids = Cv.random_ring_ids (Rng.split rng) ~n ~width in
+      let inputs = Cv.inputs ~ids ~width g in
+      let t = Cv.schedule_length width in
+      let b = t in
+      let sc =
+        {
+          Stabilization.params =
+            Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Cv.algo;
+          graph = g;
+          inputs;
+        }
+      in
+      let spec final = Cv.spec_holds g ~final in
+      let agg = Measure.worst_case ~seeds ~max_height:b ~spec sc in
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int width;
+          string_of_int (Util.log_star n);
+          string_of_int t;
+          string_of_int b;
+          string_of_int agg.Measure.max_rounds;
+          string_of_int agg.Measure.max_moves;
+          string_of_int (n * n * b);
+          (if agg.Measure.all_spec then "yes" else "NO");
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    [ (8, 6); (16, 8); (64, 10); (128, 16); (256, 16) ];
+  table
+
+let shortest_path_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [ "family"; "n"; "D"; "T"; "rounds"; "moves"; "spec"; "legit" ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let root = 0 in
+      let weight =
+        Sp.random_weights (Rng.split rng) w.Workloads.graph ~max_weight:8
+      in
+      let inputs = Sp.inputs w.Workloads.graph ~weight ~root in
+      let sc =
+        {
+          Stabilization.params = Transformer.params Sp.algo;
+          graph = w.Workloads.graph;
+          inputs;
+        }
+      in
+      let t = (Stabilization.history sc).Sync_runner.t in
+      let spec final =
+        Sp.spec_holds w.Workloads.graph ~weight ~root ~final
+      in
+      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+      Table.add_row table
+        [
+          w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int w.Workloads.diameter;
+          string_of_int t;
+          string_of_int agg.Measure.max_rounds;
+          string_of_int agg.Measure.max_moves;
+          (if agg.Measure.all_spec then "yes" else "NO");
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    [
+      Workloads.make "path" (G.Builders.path 16);
+      Workloads.make "cycle" (G.Builders.cycle 16);
+      Workloads.make "grid" (G.Builders.grid ~rows:4 ~cols:4);
+      Workloads.make "random"
+        (G.Builders.random_connected (Rng.split rng) ~n:20 ~extra_edges:12);
+    ];
+  table

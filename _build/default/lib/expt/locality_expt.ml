@@ -1,0 +1,62 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module G = Ss_graph
+module Transformer = Ss_core.Transformer
+module Stabilization = Ss_verify.Stabilization
+module Sync_runner = Ss_sync.Sync_runner
+module Lv = Ss_algos.Local_views
+
+let int_views =
+  Lv.algo ~equal:Int.equal
+    ~input_bits:(fun v -> 1 + Util.bit_width (abs v))
+    ~random_input:(fun rng -> Rng.int rng 64)
+    ~pp:Format.pp_print_int
+
+let rows ?(seeds = [ 1 ]) rng =
+  let table =
+    Table.create
+      [
+        "graph"; "n"; "radius"; "T"; "S(view-bits)"; "B*S"; "space-bits";
+        "moves"; "rounds"; "legit";
+      ]
+  in
+  let workloads =
+    [ ("ring", G.Builders.cycle 10); ("grid", G.Builders.grid ~rows:3 ~cols:4) ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun radius ->
+          let base p = (p * 13) mod 31 in
+          let inputs p = { Lv.self_input = base p; radius } in
+          let sc =
+            {
+              Stabilization.params = Transformer.params int_views;
+              graph = g;
+              inputs;
+            }
+          in
+          let hist = Stabilization.history sc in
+          let t = hist.Sync_runner.t in
+          let s = Sync_runner.max_state_bits int_views hist in
+          let agg =
+            Measure.worst_case ~seeds ~max_height:(t + 2) sc
+          in
+          Table.add_row table
+            [
+              name;
+              string_of_int (G.Graph.n g);
+              string_of_int radius;
+              string_of_int t;
+              string_of_int s;
+              string_of_int ((t + 2) * s);
+              string_of_int agg.Measure.max_space_bits;
+              string_of_int agg.Measure.max_moves;
+              string_of_int agg.Measure.max_rounds;
+              (if agg.Measure.all_legitimate then "yes" else "NO");
+            ])
+        [ 1; 2; 3; 4 ])
+    workloads;
+  ignore rng;
+  table

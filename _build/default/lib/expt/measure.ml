@@ -1,0 +1,60 @@
+module Stabilization = Ss_verify.Stabilization
+module Rng = Ss_prelude.Rng
+
+type agg = {
+  runs : int;
+  max_moves : int;
+  max_rounds : int;
+  max_recovery_moves : int;
+  max_recovery_rounds : int;
+  max_space_bits : int;
+  all_legitimate : bool;
+  all_spec : bool;
+}
+
+let empty =
+  {
+    runs = 0;
+    max_moves = 0;
+    max_rounds = 0;
+    max_recovery_moves = 0;
+    max_recovery_rounds = 0;
+    max_space_bits = 0;
+    all_legitimate = true;
+    all_spec = true;
+  }
+
+let absorb ~spec agg (r : _ Stabilization.report) =
+  {
+    runs = agg.runs + 1;
+    max_moves = max agg.max_moves r.Stabilization.moves;
+    max_rounds = max agg.max_rounds r.Stabilization.rounds;
+    max_recovery_moves = max agg.max_recovery_moves r.Stabilization.recovery_moves;
+    max_recovery_rounds =
+      max agg.max_recovery_rounds r.Stabilization.recovery_rounds;
+    max_space_bits = max agg.max_space_bits r.Stabilization.space_bits;
+    all_legitimate = agg.all_legitimate && r.Stabilization.legitimate;
+    all_spec = agg.all_spec && spec r.Stabilization.outputs;
+  }
+
+let worst_case ?track_recovery ?max_steps ?(corruption_p = 1.0)
+    ?(spec = fun _ -> true) ~seeds ~max_height sc =
+  List.fold_left
+    (fun agg seed ->
+      let rng = Rng.create seed in
+      List.fold_left
+        (fun agg (_name, daemon) ->
+          let start =
+            Stabilization.corrupted_start (Rng.split rng) ~p:corruption_p
+              ~max_height sc
+          in
+          let report =
+            Stabilization.run ?track_recovery ?max_steps sc ~daemon ~start
+          in
+          absorb ~spec agg report)
+        agg
+        (Stabilization.daemon_portfolio rng))
+    empty seeds
+
+let clean_run ?max_steps sc ~daemon =
+  Stabilization.run ?max_steps sc ~daemon ~start:(Stabilization.clean_start sc)

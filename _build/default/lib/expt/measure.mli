@@ -1,0 +1,41 @@
+(** Worst-case-over-adversaries measurement of a scenario.
+
+    The paper's complexities are worst cases over all daemons and all
+    initial configurations.  We approximate them by taking the maximum
+    over the {!Ss_verify.Stabilization.daemon_portfolio} and over
+    several random corruptions; the upper-bound {e shapes} must hold
+    for every member of the portfolio, and the scripted §7 adversary
+    (handled separately in {!Blowup_expt}) achieves the lower bound. *)
+
+type agg = {
+  runs : int;
+  max_moves : int;
+  max_rounds : int;
+  max_recovery_moves : int;
+  max_recovery_rounds : int;
+  max_space_bits : int;
+  all_legitimate : bool;  (** Every run reached a legitimate terminal
+      configuration. *)
+  all_spec : bool;  (** Every run's outputs satisfied [spec]. *)
+}
+
+val worst_case :
+  ?track_recovery:bool ->
+  ?max_steps:int ->
+  ?corruption_p:float ->
+  ?spec:('s array -> bool) ->
+  seeds:int list ->
+  max_height:int ->
+  ('s, 'i) Ss_verify.Stabilization.scenario ->
+  agg
+(** For each seed, corrupt the clean start (each node hit with
+    probability [corruption_p], default 1) and run under every
+    portfolio daemon; aggregate the maxima.  [spec] (default: always
+    true) is checked on each run's final outputs. *)
+
+val clean_run :
+  ?max_steps:int ->
+  ('s, 'i) Ss_verify.Stabilization.scenario ->
+  daemon:Ss_sim.Daemon.t ->
+  's Ss_verify.Stabilization.report
+(** Single run from the controlled initial configuration. *)

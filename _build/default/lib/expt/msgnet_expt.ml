@@ -1,0 +1,77 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module G = Ss_graph
+module Transformer = Ss_core.Transformer
+module Checker = Ss_core.Checker
+module M = Ss_msgnet.Msgnet
+module Leader = Ss_algos.Leader_election
+module Sync_runner = Ss_sync.Sync_runner
+
+let rows ?(seeds = [ 1; 2 ]) rng =
+  let table =
+    Table.create
+      [
+        "graph"; "n"; "encoding"; "execs"; "deliveries"; "update-bits";
+        "proof-bits"; "repair-bits"; "total-bits"; "ok";
+      ]
+  in
+  let workloads =
+    [
+      ("ring", G.Builders.cycle 8);
+      ("ring", G.Builders.cycle 16);
+      ("ring", G.Builders.cycle 32);
+      ("random", G.Builders.random_connected (Rng.split rng) ~n:16 ~extra_edges:8);
+      ("random", G.Builders.random_connected (Rng.split rng) ~n:32 ~extra_edges:16);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let inputs = Leader.random_ids (Rng.split rng) g in
+      let params = Transformer.params Leader.algo in
+      let hist = Sync_runner.run Leader.algo g ~inputs in
+      List.iter
+        (fun (enc_name, encoding) ->
+          (* Aggregate over seeds: worst bits, all-ok conjunction. *)
+          let execs = ref 0
+          and deliveries = ref 0
+          and update_bits = ref 0
+          and proof_bits = ref 0
+          and repair_bits = ref 0
+          and total = ref 0
+          and ok = ref true in
+          List.iter
+            (fun seed ->
+              let seed_rng = Rng.create (seed * 101) in
+              let start =
+                Transformer.corrupt (Rng.split seed_rng)
+                  ~max_height:(hist.Sync_runner.t + 4)
+                  params
+                  (Transformer.clean_config params g ~inputs)
+              in
+              let final, stats = M.run ~encoding ~rng:seed_rng params start in
+              execs := max !execs stats.M.rule_executions;
+              deliveries := max !deliveries stats.M.deliveries;
+              update_bits := max !update_bits stats.M.update_bits;
+              proof_bits := max !proof_bits stats.M.proof_bits;
+              repair_bits := max !repair_bits stats.M.full_copy_bits;
+              total := max !total (M.total_bits stats);
+              ok :=
+                !ok && stats.M.quiescent
+                && Checker.legitimate_terminal params hist final = Ok ())
+            seeds;
+          Table.add_row table
+            [
+              name;
+              string_of_int (G.Graph.n g);
+              enc_name;
+              string_of_int !execs;
+              string_of_int !deliveries;
+              string_of_int !update_bits;
+              string_of_int !proof_bits;
+              string_of_int !repair_bits;
+              string_of_int !total;
+              (if !ok then "yes" else "NO");
+            ])
+        [ ("full", M.Full_state); ("delta", M.Delta) ])
+    workloads;
+  table

@@ -1,0 +1,189 @@
+module Table = Ss_prelude.Table
+module Rng = Ss_prelude.Rng
+module P = Ss_core.Predicates
+module Transformer = Ss_core.Transformer
+module Stabilization = Ss_verify.Stabilization
+module Sync_runner = Ss_sync.Sync_runner
+module Leader = Ss_algos.Leader_election
+module Toy = Ss_algos.Toy
+
+let default_seeds = [ 1; 2 ]
+
+let leader_scenario rng ?mode ?bound (w : Workloads.t) =
+  let inputs = Leader.random_ids rng w.Workloads.graph in
+  {
+    Stabilization.params = Transformer.params ?mode ?bound Leader.algo;
+    graph = w.Workloads.graph;
+    inputs;
+  }
+
+let sync_time sc = (Stabilization.history sc).Sync_runner.t
+
+let lazy_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [
+        "family"; "n"; "D"; "T"; "moves"; "n^3+nT"; "rounds"; "D+T"; "legit";
+      ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let sc = leader_scenario (Rng.split rng) w in
+      let t = sync_time sc in
+      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
+      Table.add_row table
+        [
+          w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int w.Workloads.diameter;
+          string_of_int t;
+          string_of_int agg.Measure.max_moves;
+          string_of_int ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+                         + (w.Workloads.n * t));
+          string_of_int agg.Measure.max_rounds;
+          string_of_int (w.Workloads.diameter + t);
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    (Workloads.standard rng);
+  table
+
+let greedy_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [ "workload"; "n"; "T"; "B"; "moves"; "n^3+nB"; "rounds"; "legit" ]
+  in
+  (* Clock with exact T, growing B: rounds must scale with B. *)
+  let clock_row n k b =
+    let g = Ss_graph.Builders.cycle n in
+    let sc =
+      {
+        Stabilization.params =
+          Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Toy.clock;
+        graph = g;
+        inputs = (fun _ -> k);
+      }
+    in
+    let agg = Measure.worst_case ~seeds ~max_height:b sc in
+    Table.add_row table
+      [
+        Printf.sprintf "clock(T=%d)" k;
+        string_of_int n;
+        string_of_int k;
+        string_of_int b;
+        string_of_int agg.Measure.max_moves;
+        string_of_int ((n * n * n) + (n * b));
+        string_of_int agg.Measure.max_rounds;
+        (if agg.Measure.all_legitimate then "yes" else "NO");
+      ]
+  in
+  List.iter (fun b -> clock_row 16 8 b) [ 8; 16; 32; 64 ];
+  (* Greedy leader election with B a small multiple of T. *)
+  List.iter
+    (fun (w : Workloads.t) ->
+      let rng' = Rng.split rng in
+      let probe = leader_scenario (Rng.copy rng') w in
+      let t = max 1 (sync_time probe) in
+      let b = 2 * t in
+      let sc =
+        leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w
+      in
+      let agg = Measure.worst_case ~seeds ~max_height:b sc in
+      Table.add_row table
+        [
+          "leader/" ^ w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int t;
+          string_of_int b;
+          string_of_int agg.Measure.max_moves;
+          string_of_int ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+                         + (w.Workloads.n * b));
+          string_of_int agg.Measure.max_rounds;
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    (Workloads.rings [ 8; 16; 32 ]);
+  table
+
+let recovery_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create
+      [
+        "workload"; "n"; "D"; "B"; "recov-rounds"; "min(D,B)"; "recov-moves";
+        "min(n^3,n^2B)";
+      ]
+  in
+  (* Lazy leader election, B = +inf: recovery within O(D). *)
+  List.iter
+    (fun (w : Workloads.t) ->
+      let sc = leader_scenario (Rng.split rng) w in
+      let t = sync_time sc in
+      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
+      Table.add_row table
+        [
+          "leader/" ^ w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int w.Workloads.diameter;
+          "inf";
+          string_of_int agg.Measure.max_recovery_rounds;
+          string_of_int w.Workloads.diameter;
+          string_of_int agg.Measure.max_recovery_moves;
+          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+        ])
+    (Workloads.diameter_sweep ());
+  (* The B < D regime: a short clock on a long path — recovery is
+     bounded by B, not by the (large) diameter. *)
+  List.iter
+    (fun n ->
+      let b = 4 in
+      let g = Ss_graph.Builders.path n in
+      let d = n - 1 in
+      let sc =
+        {
+          Stabilization.params =
+            Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Toy.clock;
+          graph = g;
+          inputs = (fun _ -> b);
+        }
+      in
+      let agg = Measure.worst_case ~seeds ~max_height:b sc in
+      Table.add_row table
+        [
+          Printf.sprintf "clock(B=%d)/path" b;
+          string_of_int n;
+          string_of_int d;
+          string_of_int b;
+          string_of_int agg.Measure.max_recovery_rounds;
+          string_of_int (min d b);
+          string_of_int agg.Measure.max_recovery_moves;
+          string_of_int (min (n * n * n) (n * n * b));
+        ])
+    [ 16; 32; 64 ];
+  table
+
+let space_rows ?(seeds = default_seeds) rng =
+  let table =
+    Table.create [ "workload"; "n"; "B"; "S"; "B*S"; "space-bits"; "legit" ]
+  in
+  List.iter
+    (fun (w : Workloads.t) ->
+      let rng' = Rng.split rng in
+      let probe = leader_scenario (Rng.copy rng') w in
+      let t = max 1 (sync_time probe) in
+      let b = t + 2 in
+      let sc = leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w in
+      let hist = Stabilization.history sc in
+      let s =
+        Sync_runner.max_state_bits sc.Stabilization.params.Transformer.sync hist
+      in
+      let agg = Measure.worst_case ~seeds ~max_height:b sc in
+      Table.add_row table
+        [
+          "leader/" ^ w.Workloads.family;
+          string_of_int w.Workloads.n;
+          string_of_int b;
+          string_of_int s;
+          string_of_int (b * s);
+          string_of_int agg.Measure.max_space_bits;
+          (if agg.Measure.all_legitimate then "yes" else "NO");
+        ])
+    (Workloads.standard rng |> List.filteri (fun i _ -> i mod 3 = 0));
+  table

@@ -1,0 +1,40 @@
+module G = Ss_graph
+
+type t = {
+  family : string;
+  graph : G.Graph.t;
+  n : int;
+  diameter : int;
+}
+
+let make family graph =
+  {
+    family;
+    graph;
+    n = G.Graph.n graph;
+    diameter = G.Properties.diameter graph;
+  }
+
+let standard rng =
+  List.concat
+    [
+      List.map (fun n -> make "path" (G.Builders.path n)) [ 8; 16; 32 ];
+      List.map (fun n -> make "cycle" (G.Builders.cycle n)) [ 8; 16; 32 ];
+      List.map
+        (fun (r, c) -> make "grid" (G.Builders.grid ~rows:r ~cols:c))
+        [ (3, 3); (4, 4); (6, 6) ];
+      List.map (fun n -> make "tree" (G.Builders.binary_tree n)) [ 15; 31; 63 ];
+      List.map (fun n -> make "star" (G.Builders.star n)) [ 8; 32 ];
+      List.map
+        (fun n ->
+          make "random"
+            (G.Builders.random_connected
+               (Ss_prelude.Rng.split rng)
+               ~n ~extra_edges:(n / 2)))
+        [ 16; 32 ];
+    ]
+
+let diameter_sweep () =
+  List.map (fun n -> make "path" (G.Builders.path n)) [ 4; 8; 16; 32; 64 ]
+
+let rings sizes = List.map (fun n -> make "ring" (G.Builders.cycle n)) sizes

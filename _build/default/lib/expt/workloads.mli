@@ -1,0 +1,28 @@
+(** Topology sweeps shared by the experiments.
+
+    Each workload is a named family of graphs of growing size, chosen
+    to cover the diameter regimes the paper's bounds distinguish:
+    [D = Θ(n)] (paths, cycles), [D = Θ(√n)] (grids),
+    [D = Θ(log n)] (balanced trees), [D = O(1)] (stars), and random
+    connected graphs. *)
+
+type t = {
+  family : string;
+  graph : Ss_graph.Graph.t;
+  n : int;
+  diameter : int;
+}
+
+val make : string -> Ss_graph.Graph.t -> t
+(** Wrap a graph with its measured diameter. *)
+
+val standard : Ss_prelude.Rng.t -> t list
+(** The default sweep: paths, cycles, grids, binary trees, stars and
+    random connected graphs at several sizes (n between 8 and 64). *)
+
+val diameter_sweep : unit -> t list
+(** Fixed-shape family with growing diameter (paths of 4–64 nodes),
+    for the [O(D)]-round experiments. *)
+
+val rings : int list -> t list
+(** Rings of the given sizes (for Cole–Vishkin). *)

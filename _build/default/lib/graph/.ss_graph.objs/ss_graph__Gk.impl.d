@@ -1,0 +1,1 @@
+lib/graph/gk.ml: Array Format Graph List Properties

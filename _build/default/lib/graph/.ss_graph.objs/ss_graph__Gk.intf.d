@@ -1,0 +1,1 @@
+lib/graph/gk.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/properties.ml: Array Graph Queue

@@ -1,0 +1,149 @@
+module Rng = Ss_prelude.Rng
+
+let single () = Graph.of_edges ~n:1 []
+
+let path n =
+  if n < 1 then invalid_arg "Builders.path";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle";
+  (* Explicit adjacency so that port 0 is clockwise and port 1 is
+     counterclockwise at every node. *)
+  let adj = Array.init n (fun i -> [| (i + 1) mod n; (i + n - 1) mod n |]) in
+  Graph.of_adjacency adj
+
+let complete n =
+  if n < 1 then invalid_arg "Builders.complete";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Builders.star";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Builders.torus";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Builders.hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let binary_tree n =
+  if n < 1 then invalid_arg "Builders.binary_tree";
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := ((i - 1) / 2, i) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let lollipop ~clique ~tail =
+  if clique < 1 || tail < 0 then invalid_arg "Builders.lollipop";
+  let n = clique + tail in
+  let edges = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then 0 else clique + i - 1 in
+    edges := (prev, clique + i) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let wheel n =
+  if n < 4 then invalid_arg "Builders.wheel";
+  let rim = n - 1 in
+  let edges = ref [] in
+  for i = 1 to rim do
+    edges := (0, i) :: !edges;
+    let next = if i = rim then 1 else i + 1 in
+    edges := (i, next) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Builders.complete_bipartite";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !edges
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Builders.caterpillar";
+  let n = spine * (legs + 1) in
+  let edges = ref [] in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then edges := (s, s + 1) :: !edges;
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Builders.random_tree";
+  let edges = List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)) in
+  Graph.of_edges ~n edges
+
+let random_connected rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Builders.random_connected";
+  let tree_edges = List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)) in
+  let present = Hashtbl.create 64 in
+  List.iter (fun (u, v) -> Hashtbl.add present (min u v, max u v) ()) tree_edges;
+  let max_edges = n * (n - 1) / 2 in
+  let budget = min extra_edges (max_edges - (n - 1)) in
+  let extra = ref [] in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < budget && !attempts < 100 * (budget + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem present key) then begin
+        Hashtbl.add present key ();
+        extra := key :: !extra;
+        incr added
+      end
+    end
+  done;
+  Graph.of_edges ~n (tree_edges @ !extra)

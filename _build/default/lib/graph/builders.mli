@@ -1,0 +1,73 @@
+(** Topology constructors.
+
+    Every builder returns a connected graph.  These are the workloads
+    for the Table 1 sweeps and the §5 instance experiments: paths and
+    cycles (diameter [Θ(n)]), grids and tori (diameter [Θ(√n)]),
+    hypercubes and balanced trees (diameter [Θ(log n)]), cliques and
+    stars (diameter [O(1)]), random trees / connected graphs, and the
+    lollipop, which mixes a clique with a long tail. *)
+
+val single : unit -> Graph.t
+(** The one-node graph. *)
+
+val path : int -> Graph.t
+(** [path n] is the path [0 – 1 – … – n-1].  Diameter [n-1].
+    @raise Invalid_argument if [n < 1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the ring on [n >= 3] nodes.  Node [i]'s port 0 is its
+    clockwise neighbor [(i+1) mod n] and port 1 its counterclockwise
+    neighbor — the orientation convention assumed by
+    {!Ss_algos.Cole_vishkin}.  Diameter [⌊n/2⌋].
+    @raise Invalid_argument if [n < 3]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is the clique on [n >= 1] nodes. *)
+
+val star : int -> Graph.t
+(** [star n] is the star with center [0] and [n-1 >= 1] leaves. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** [grid ~rows ~cols] is the [rows × cols] grid; node [(r,c)] has id
+    [r*cols + c].  Diameter [rows+cols-2].
+    @raise Invalid_argument if either dimension is [< 1]. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** [torus ~rows ~cols] is the wrap-around grid.  Both dimensions must
+    be [>= 3] so the graph stays simple. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the [d]-dimensional hypercube on [2^d] nodes
+    ([d >= 0]).  Diameter [d]. *)
+
+val binary_tree : int -> Graph.t
+(** [binary_tree n] is the complete binary tree on [n >= 1] nodes in
+    heap order (children of [i] are [2i+1] and [2i+2]).  Diameter
+    [Θ(log n)]. *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** [lollipop ~clique ~tail] glues a path of [tail] extra nodes to node
+    [0] of a [clique]-node clique ([clique >= 1], [tail >= 0]). *)
+
+val wheel : int -> Graph.t
+(** [wheel n] is a hub (node 0) joined to every node of an
+    [(n-1)]-cycle ([n >= 4]).  Diameter 2. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b] is [K_{a,b}] with the left part on nodes
+    [0..a-1] ([a, b >= 1]). *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** [caterpillar ~spine ~legs] is a path of [spine] nodes with [legs]
+    leaves attached to each spine node — a tree with large [n] and
+    diameter [spine + 1] (for [legs >= 1]), handy for decoupling [n]
+    from [D]. *)
+
+val random_tree : Ss_prelude.Rng.t -> int -> Graph.t
+(** [random_tree rng n] is a uniform-attachment random tree: node [i]
+    ([i >= 1]) attaches to a uniform node in [0..i-1]. *)
+
+val random_connected : Ss_prelude.Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** [random_connected rng ~n ~extra_edges] is a random tree plus
+    [extra_edges] additional distinct random edges (fewer when the
+    graph saturates). *)

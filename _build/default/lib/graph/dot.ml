@@ -1,0 +1,30 @@
+let default_label v = string_of_int v
+
+let of_graph ?(name = "g") ?(label = default_label) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Graph.iter_nodes g (fun v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label v)));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_tree ?(name = "t") ?(label = default_label) g ~parent =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Graph.iter_nodes g (fun v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label v)));
+  let is_tree_edge u v =
+    (match parent u with Some p when p = v -> true | _ -> false)
+    || match parent v with Some p when p = u -> true | _ -> false
+  in
+  List.iter
+    (fun (u, v) ->
+      let style = if is_tree_edge u v then "solid" else "dashed" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [style=%s];\n" u v style))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Graphviz export, for inspecting topologies and computed trees. *)
+
+val of_graph :
+  ?name:string -> ?label:(int -> string) -> Graph.t -> string
+(** [of_graph g] renders [g] in DOT syntax.  [label] overrides the
+    per-node label (default: the node id). *)
+
+val of_tree :
+  ?name:string ->
+  ?label:(int -> string) ->
+  Graph.t ->
+  parent:(int -> int option) ->
+  string
+(** [of_tree g ~parent] renders [g] with tree edges (given by the
+    parent map) drawn solid and non-tree edges dashed. *)

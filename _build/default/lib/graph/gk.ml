@@ -1,0 +1,54 @@
+type role = B | A | C | D | E
+
+let role_index = function B -> 0 | A -> 1 | C -> 2 | D -> 3 | E -> 4
+let role_of_index = function
+  | 0 -> B
+  | 1 -> A
+  | 2 -> C
+  | 3 -> D
+  | 4 -> E
+  | _ -> assert false
+
+let node ~k role i =
+  if i < 1 || i > k then invalid_arg "Gk.node: block out of range";
+  (5 * (i - 1)) + role_index role
+
+let block_of v = (v / 5) + 1
+let role_of v = role_of_index (v mod 5)
+
+let make k =
+  if k < 1 then invalid_arg "Gk.make";
+  let nd = node ~k in
+  let edges = ref [] in
+  for i = 1 to k do
+    edges :=
+      (nd B i, nd A i) :: (nd A i, nd C i) :: (nd C i, nd D i)
+      :: (nd D i, nd E i) :: !edges;
+    if i >= 2 then
+      edges := (nd B i, nd C (i - 1)) :: (nd E i, nd C (i - 1)) :: !edges
+  done;
+  Graph.of_edges ~n:(5 * k) !edges
+
+let bottom_path ~k i =
+  let nd = node ~k in
+  let rec go j acc =
+    if j < 1 then List.rev acc
+    else go (j - 1) (nd E j :: nd D j :: nd C j :: acc)
+  in
+  go i []
+
+let fig1_index ~k v =
+  let g = make k in
+  let d = Properties.bfs_distances g (node ~k C k) in
+  match role_of v with A -> d.(v) | B | C | D | E -> d.(v) + 1
+
+let max_fig1_index ~k =
+  let g = make k in
+  let best = ref 0 in
+  Graph.iter_nodes g (fun v -> best := max !best (fig1_index ~k v));
+  !best
+
+let role_name = function B -> "b" | A -> "a" | C -> "c" | D -> "d" | E -> "e"
+
+let pp_node ~k:_ ppf v =
+  Format.fprintf ppf "%s%d" (role_name (role_of v)) (block_of v)

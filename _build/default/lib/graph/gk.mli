@@ -1,0 +1,50 @@
+(** The graph family [G_k] of Section 7 (Figure 1).
+
+    [G_1] is the path [b1 – a1 – c1 – d1 – e1]; [G_k] adds a fresh path
+    [bk – ak – ck – dk – ek] to [G_{k-1}] together with the edges
+    [bk–c(k-1)] and [ek–c(k-1)].  The {e bottom path} of [G_i] is the
+    simple path from [c_i] to [e_1] through the [c], [d], [e] nodes.
+
+    On this family the paper exhibits an adversarial schedule under
+    which the rollback compiler performs exponentially many moves (see
+    {!Ss_rollback.Blowup}).  [n = 5k]. *)
+
+type role = B | A | C | D | E
+(** The five rôles of each block, in Figure 1's notation. *)
+
+val make : int -> Graph.t
+(** [make k] builds [G_k] for [k >= 1].
+    @raise Invalid_argument if [k < 1]. *)
+
+val node : k:int -> role -> int -> int
+(** [node ~k role i] is the node id of the rôle in block [i]
+    ([1 <= i <= k]).  Block ids are stable across [k]: the id only
+    depends on [role] and [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val block_of : int -> int
+(** [block_of v] is the block index [i] of node [v]. *)
+
+val role_of : int -> role
+(** [role_of v] is the rôle of node [v]. *)
+
+val bottom_path : k:int -> int -> int list
+(** [bottom_path ~k i] lists the nodes of the bottom path of [G_i]
+    (within [G_k]): [c_i, d_i, e_i, c_(i-1), …, c_1, d_1, e_1]. *)
+
+val fig1_index : k:int -> int -> int
+(** [fig1_index ~k v] is the index of node [v] in the initial
+    configuration of Figure 1: [d(v, c_k)] for [a]-nodes and
+    [d(v, c_k) + 1] for every other node, where [d] is hop distance in
+    [G_k].  (A node of index [i] has list cells [1] strictly below
+    position [i] and [0] from there on.) *)
+
+val max_fig1_index : k:int -> int
+(** Largest {!fig1_index} over the nodes of [G_k]; the rollback bound
+    [B] must be at least this for Figure 1's configuration to fit. *)
+
+val role_name : role -> string
+(** ["a"], ["b"], … *)
+
+val pp_node : k:int -> Format.formatter -> int -> unit
+(** Renders a node as e.g. ["a3"]. *)

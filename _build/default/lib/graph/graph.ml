@@ -1,0 +1,85 @@
+type t = { adj : int array array; m : int }
+
+let validate adj =
+  let n = Array.length adj in
+  Array.iteri
+    (fun p nbrs ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun q ->
+          if q < 0 || q >= n then
+            invalid_arg
+              (Printf.sprintf "Graph: node %d has out-of-range neighbor %d" p q);
+          if q = p then
+            invalid_arg (Printf.sprintf "Graph: self-loop at node %d" p);
+          if Hashtbl.mem seen q then
+            invalid_arg
+              (Printf.sprintf "Graph: parallel edge {%d,%d}" p q);
+          Hashtbl.add seen q ())
+        nbrs)
+    adj;
+  (* Symmetry: q must list p whenever p lists q. *)
+  Array.iteri
+    (fun p nbrs ->
+      Array.iter
+        (fun q ->
+          if not (Array.exists (fun r -> r = p) adj.(q)) then
+            invalid_arg
+              (Printf.sprintf "Graph: edge {%d,%d} is not symmetric" p q))
+        nbrs)
+    adj
+
+let of_adjacency adj =
+  validate adj;
+  let m =
+    Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2
+  in
+  { adj = Array.map Array.copy adj; m }
+
+let of_edges ~n edges =
+  if n < 1 then invalid_arg "Graph.of_edges: n must be >= 1";
+  let buf = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range" u v);
+      buf.(u) <- v :: buf.(u);
+      buf.(v) <- u :: buf.(v))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.rev l)) buf in
+  of_adjacency adj
+
+let n g = Array.length g.adj
+let m g = g.m
+let neighbors g p = g.adj.(p)
+let degree g p = Array.length g.adj.(p)
+let mem_edge g p q = Array.exists (fun r -> r = q) g.adj.(p)
+
+let port_of g p q =
+  let nbrs = g.adj.(p) in
+  let rec go i =
+    if i >= Array.length nbrs then raise Not_found
+    else if nbrs.(i) = q then i
+    else go (i + 1)
+  in
+  go 0
+
+let edges g =
+  let acc = ref [] in
+  Array.iteri
+    (fun p nbrs -> Array.iter (fun q -> if p < q then acc := (p, q) :: !acc) nbrs)
+    g.adj;
+  List.sort compare !acc
+
+let iter_nodes g f =
+  for p = 0 to n g - 1 do
+    f p
+  done
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  iter_nodes g (fun p -> acc := f !acc p);
+  !acc
+
+let max_degree g = fold_nodes g ~init:0 ~f:(fun acc p -> max acc (degree g p))
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" (n g) (m g)

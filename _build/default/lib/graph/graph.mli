@@ -1,0 +1,61 @@
+(** Undirected simple graphs with port-numbered adjacency.
+
+    Nodes are integers [0 .. n-1].  Each node [p] sees its neighbors
+    through an ordered array (its {e ports}); port order is the order
+    in which neighbor states are presented to algorithms running in
+    models with port numbers (paper §3.3).  Algorithms written for the
+    weak anonymous model of §2.2 simply ignore the order.
+
+    All graphs are validated at construction: no self-loops, no
+    parallel edges, symmetric adjacency.  Connectivity is {e not}
+    enforced here (see {!Properties.is_connected}); the builders in
+    {!Builders} only produce connected graphs. *)
+
+type t
+
+val of_adjacency : int array array -> t
+(** [of_adjacency adj] builds a graph from per-node neighbor arrays.
+    [adj.(p)] lists the neighbors of [p] in port order.
+    @raise Invalid_argument if the adjacency is not simple and
+    symmetric or mentions nodes out of range. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph on [n] nodes with the given
+    (unordered) edges.  Ports are assigned in the order edges are
+    listed; duplicate edges and self-loops are rejected.
+    @raise Invalid_argument on invalid input. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** [neighbors g p] is the port-ordered neighbor array of [p].  The
+    returned array must not be mutated. *)
+
+val degree : t -> int -> int
+(** [degree g p] is the number of neighbors of [p]. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g p q] tests whether [{p,q}] is an edge. *)
+
+val port_of : t -> int -> int -> int
+(** [port_of g p q] is the port index of [q] in [p]'s neighbor array.
+    @raise Not_found if [q] is not a neighbor of [p]. *)
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], in increasing order. *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+(** [iter_nodes g f] applies [f] to every node in increasing order. *)
+
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Left fold over nodes in increasing order. *)
+
+val max_degree : t -> int
+(** Maximum degree over all nodes ([0] for the single-node graph). *)
+
+val pp : Format.formatter -> t -> unit
+(** Terse rendering ["graph(n=…, m=…)"]. *)

@@ -1,0 +1,41 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let p = Queue.pop q in
+    Array.iter
+      (fun r ->
+        if dist.(r) = max_int then begin
+          dist.(r) <- dist.(p) + 1;
+          Queue.push r q
+        end)
+      (Graph.neighbors g p)
+  done;
+  dist
+
+let distance g p q = (bfs_distances g p).(q)
+
+let eccentricity g p =
+  let dist = bfs_distances g p in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Properties.eccentricity: disconnected"
+      else max acc d)
+    0 dist
+
+let diameter g =
+  Graph.fold_nodes g ~init:0 ~f:(fun acc p -> max acc (eccentricity g p))
+
+let radius g =
+  Graph.fold_nodes g ~init:max_int ~f:(fun acc p -> min acc (eccentricity g p))
+
+let is_connected g =
+  let dist = bfs_distances g 0 in
+  Array.for_all (fun d -> d <> max_int) dist
+
+let is_tree g = is_connected g && Graph.m g = Graph.n g - 1
+
+let all_pairs_distances g = Array.init (Graph.n g) (fun p -> bfs_distances g p)

@@ -1,0 +1,33 @@
+(** Structural graph properties: distances, diameter, connectivity.
+
+    These are the reference quantities the experiments plot against
+    (the paper's bounds are in terms of the diameter [D] and [n]). *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] maps every node to its hop distance from
+    [src]; unreachable nodes get [max_int]. *)
+
+val distance : Graph.t -> int -> int -> int
+(** [distance g p q] is the hop distance; [max_int] when disconnected. *)
+
+val eccentricity : Graph.t -> int -> int
+(** [eccentricity g p] is the maximum finite distance from [p].
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val diameter : Graph.t -> int
+(** Maximum eccentricity.
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity.
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val is_connected : Graph.t -> bool
+(** Whether every node is reachable from node [0]. *)
+
+val is_tree : Graph.t -> bool
+(** Connected with [m = n - 1]. *)
+
+val all_pairs_distances : Graph.t -> int array array
+(** [all_pairs_distances g] is the full distance matrix (one BFS per
+    node). *)

@@ -1,0 +1,1 @@
+lib/msgnet/msgnet.ml: Array Format Hashtbl Int64 Queue Ss_core Ss_energy Ss_graph Ss_prelude Ss_sim Ss_sync

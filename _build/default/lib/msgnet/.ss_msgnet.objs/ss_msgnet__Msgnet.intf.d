@@ -1,0 +1,1 @@
+lib/msgnet/msgnet.mli: Ss_core Ss_prelude Ss_sim

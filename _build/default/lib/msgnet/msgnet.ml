@@ -1,0 +1,270 @@
+module Graph = Ss_graph.Graph
+module Algorithm = Ss_sim.Algorithm
+module Config = Ss_sim.Config
+module Sync_algo = Ss_sync.Sync_algo
+module St = Ss_core.Trans_state
+module Transformer = Ss_core.Transformer
+module Energy = Ss_energy.Energy
+module Rng = Ss_prelude.Rng
+
+type encoding = Full_state | Delta
+
+type 's delta = D_rr | D_rp of int | D_rc | D_ru of 's
+
+type 's message =
+  | Update_full of 's St.t
+  | Update_delta of 's delta
+  | Proof of int64 * int64  (* hash, nonce *)
+  | Request
+  | Full_copy of 's St.t
+
+type stats = {
+  deliveries : int;
+  rule_executions : int;
+  update_messages : int;
+  update_bits : int;
+  proof_messages : int;
+  proof_bits : int;
+  request_messages : int;
+  full_copy_messages : int;
+  full_copy_bits : int;
+  proof_waves : int;
+  quiescent : bool;
+}
+
+let total_bits s =
+  s.update_bits + s.proof_bits + s.full_copy_bits + (s.request_messages * 2)
+
+type 's counters = {
+  mutable deliveries : int;
+  mutable rule_executions : int;
+  mutable update_messages : int;
+  mutable update_bits : int;
+  mutable proof_messages : int;
+  mutable proof_bits_total : int;
+  mutable request_messages : int;
+  mutable full_copy_messages : int;
+  mutable full_copy_bits : int;
+  mutable proof_waves : int;
+  mutable requests_in_wave : int;
+}
+
+let fresh_counters () =
+  {
+    deliveries = 0;
+    rule_executions = 0;
+    update_messages = 0;
+    update_bits = 0;
+    proof_messages = 0;
+    proof_bits_total = 0;
+    request_messages = 0;
+    full_copy_messages = 0;
+    full_copy_bits = 0;
+    proof_waves = 0;
+    requests_in_wave = 0;
+  }
+
+let delta_of_move rule_name new_state =
+  if rule_name = Transformer.rr then D_rr
+  else if rule_name = Transformer.rp then D_rp (St.height new_state)
+  else if rule_name = Transformer.rc then D_rc
+  else D_ru (St.top new_state)
+
+let apply_delta mirror = function
+  | D_rr -> { mirror with St.status = St.E; cells = [||] }
+  | D_rp i ->
+      (* A corrupted mirror may be shorter than the sender's list; a
+         total best-effort truncation keeps the protocol running until
+         a proof exchange repairs the copy. *)
+      St.with_status (St.truncate mirror (min i (St.height mirror))) St.E
+  | D_rc -> St.with_status mirror St.C
+  | D_ru s -> St.extend mirror s
+
+let delta_message_bits params new_state = function
+  | D_rr | D_rc -> 2
+  | D_rp _ -> 2 + Energy.height_bits params.Transformer.bound
+  | D_ru _ ->
+      2 + params.Transformer.sync.Sync_algo.state_bits (St.top new_state)
+
+let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
+    ?(heartbeat_every = 400) ~rng ?(corrupt_mirrors = true) params config =
+  let g = config.Config.graph in
+  let n = Config.n config in
+  let sync = params.Transformer.sync in
+  let algo = Transformer.algorithm params in
+  let states = Array.copy config.Config.states in
+  let serialize st = Format.asprintf "%a" (St.pp sync.Sync_algo.pp_state) st in
+
+  (* Mirrors: mirrors.(v).(k) is v's belief about its port-k neighbor. *)
+  let mirrors =
+    Array.init n (fun v ->
+        Array.map
+          (fun u ->
+            if corrupt_mirrors then
+              Transformer.corrupt_state rng
+                ~max_height:(St.height states.(u) + 4)
+                params (Config.input config u) states.(u)
+            else states.(u))
+          (Graph.neighbors g v))
+  in
+
+  (* Directed FIFO channels. *)
+  let channels = Hashtbl.create (4 * Graph.m g) in
+  Graph.iter_nodes g (fun u ->
+      Array.iter
+        (fun v -> Hashtbl.replace channels (u, v) (Queue.create ()))
+        (Graph.neighbors g u));
+  let send u v msg = Queue.push msg (Hashtbl.find channels (u, v)) in
+  let nonempty_channels () =
+    Hashtbl.fold
+      (fun key q acc -> if Queue.is_empty q then acc else key :: acc)
+      channels []
+  in
+
+  let c = fresh_counters () in
+
+  let broadcast_move v new_state rule_name =
+    Array.iter
+      (fun u ->
+        c.update_messages <- c.update_messages + 1;
+        (match encoding with
+        | Full_state ->
+            c.update_bits <-
+              c.update_bits + Energy.full_state_bits sync new_state;
+            send v u (Update_full new_state)
+        | Delta ->
+            let d = delta_of_move rule_name new_state in
+            c.update_bits <- c.update_bits + delta_message_bits params new_state d;
+            send v u (Update_delta d)))
+      (Graph.neighbors g v)
+  in
+
+  (* Local step: act on own state + mirrors until no rule is enabled
+     (bounded for safety against pathological mirror contents). *)
+  let act v =
+    let budget = ref (Ss_core.Predicates.bound_to_int params.Transformer.bound) in
+    if !budget > 1_000_000 then budget := St.height states.(v) + n + 8;
+    let continue = ref true in
+    while !continue && !budget > 0 do
+      decr budget;
+      let view =
+        {
+          Algorithm.input = Config.input config v;
+          self = states.(v);
+          neighbors = mirrors.(v);
+        }
+      in
+      match Algorithm.enabled_rule algo view with
+      | None -> continue := false
+      | Some rule ->
+          let new_state = rule.Algorithm.action view in
+          states.(v) <- new_state;
+          c.rule_executions <- c.rule_executions + 1;
+          broadcast_move v new_state rule.Algorithm.rule_name
+    done
+  in
+
+  let deliver u v =
+    let q = Hashtbl.find channels (u, v) in
+    let msg = Queue.pop q in
+    c.deliveries <- c.deliveries + 1;
+    let port = Graph.port_of g v u in
+    match msg with
+    | Update_full s ->
+        mirrors.(v).(port) <- s;
+        act v
+    | Update_delta d ->
+        mirrors.(v).(port) <- apply_delta mirrors.(v).(port) d;
+        act v
+    | Proof (h, nonce) ->
+        if Energy.state_proof ~nonce (serialize mirrors.(v).(port)) <> h then begin
+          c.request_messages <- c.request_messages + 1;
+          c.requests_in_wave <- c.requests_in_wave + 1;
+          send v u Request
+        end
+    | Request ->
+        c.full_copy_messages <- c.full_copy_messages + 1;
+        c.full_copy_bits <-
+          c.full_copy_bits + Energy.full_state_bits sync states.(v);
+        send v u (Full_copy states.(v))
+    | Full_copy s ->
+        mirrors.(v).(port) <- s;
+        act v
+  in
+
+  let enabled_on_mirrors () =
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      let view =
+        {
+          Algorithm.input = Config.input config v;
+          self = states.(v);
+          neighbors = mirrors.(v);
+        }
+      in
+      if Algorithm.is_enabled algo view then acc := v :: !acc
+    done;
+    !acc
+  in
+
+  let nonce = ref 0L in
+  let proof_wave () =
+    nonce := Int64.add !nonce 1L;
+    c.proof_waves <- c.proof_waves + 1;
+    c.requests_in_wave <- 0;
+    Graph.iter_nodes g (fun v ->
+        let h = Energy.state_proof ~nonce:!nonce (serialize states.(v)) in
+        Array.iter
+          (fun u ->
+            c.proof_messages <- c.proof_messages + 1;
+            c.proof_bits_total <- c.proof_bits_total + proof_bits;
+            send v u (Proof (h, !nonce)))
+          (Graph.neighbors g v))
+  in
+
+  let rec loop events =
+    if events >= max_events then false
+    else begin
+      (* Periodic heartbeat: without it, delta updates applied to a
+         corrupted mirror would keep it wrong forever and the system
+         could churn indefinitely (§6's proofs are timer-driven, not
+         quiescence-driven). *)
+      if events > 0 && events mod heartbeat_every = 0 then proof_wave ();
+      match nonempty_channels () with
+      | _ :: _ as links ->
+          let u, v = Rng.pick_list rng links in
+          deliver u v;
+          loop (events + 1)
+      | [] -> (
+          match enabled_on_mirrors () with
+          | _ :: _ as nodes ->
+              act (Rng.pick_list rng nodes);
+              loop (events + 1)
+          | [] ->
+              (* Local quiescence.  If the last completed wave verified
+                 every mirror (no request), the states are terminal for
+                 the atomic-state transformer; otherwise heartbeat. *)
+              if c.proof_waves > 0 && c.requests_in_wave = 0 then true
+              else begin
+                proof_wave ();
+                loop (events + 1)
+              end)
+    end
+  in
+  let quiescent = loop 0 in
+  let stats =
+    {
+      deliveries = c.deliveries;
+      rule_executions = c.rule_executions;
+      update_messages = c.update_messages;
+      update_bits = c.update_bits;
+      proof_messages = c.proof_messages;
+      proof_bits = c.proof_bits_total;
+      request_messages = c.request_messages;
+      full_copy_messages = c.full_copy_messages;
+      full_copy_bits = c.full_copy_bits;
+      proof_waves = c.proof_waves;
+      quiescent;
+    }
+  in
+  (Config.with_states config states, stats)

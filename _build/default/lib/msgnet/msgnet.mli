@@ -1,0 +1,73 @@
+(** A message-passing realization of the transformer — §6 made
+    executable.
+
+    The atomic-state model assumes a node reads its neighbors' states
+    directly.  §6 sketches how to implement this over asynchronous
+    message passing: every node keeps a {e mirror} (last known copy)
+    of each neighbor's state; a node that moves sends each neighbor an
+    update — either its whole state ([O(B·S)] bits) or a {e delta}
+    ([O(S + log B)] bits: the rule label plus its payload); and nodes
+    periodically exchange {e proofs} (a salted hash plus its nonce) so
+    that mirrors corrupted by transient faults are detected and
+    repaired via an explicit full-copy request.
+
+    This module is an event-driven simulator of that protocol:
+
+    - per-directed-link FIFO channels with adversarial (random)
+      delivery interleaving;
+    - guard evaluation over the node's own state and its mirrors —
+      which may be stale or even corrupted; wrong moves taken on stale
+      information are later corrected by the transformer's own error
+      mechanism, which is exactly why self-stabilization makes the
+      implementation simple;
+    - quiescence detection: when no message is in flight and no node
+      is enabled on its mirrors, a proof wave runs; the execution ends
+      when a wave triggers no repair (all mirrors verified accurate),
+      at which point the true states form a terminal configuration of
+      the atomic-state transformer.
+
+    Faults can hit both the node states and the mirrors
+    independently. *)
+
+type encoding =
+  | Full_state  (** Every update carries the whole state. *)
+  | Delta  (** Updates carry rule label + payload (§6). *)
+
+type stats = {
+  deliveries : int;  (** Total messages delivered. *)
+  rule_executions : int;  (** Moves taken by nodes (on possibly stale views). *)
+  update_messages : int;
+  update_bits : int;
+  proof_messages : int;
+  proof_bits : int;
+  request_messages : int;
+  full_copy_messages : int;
+  full_copy_bits : int;
+  proof_waves : int;  (** Quiescence-triggered heartbeat waves. *)
+  quiescent : bool;  (** Reached verified quiescence within the budget. *)
+}
+
+val total_bits : stats -> int
+(** All traffic: updates + proofs + requests + full copies. *)
+
+val run :
+  ?encoding:encoding ->
+  ?max_events:int ->
+  ?proof_bits:int ->
+  ?heartbeat_every:int ->
+  rng:Ss_prelude.Rng.t ->
+  ?corrupt_mirrors:bool ->
+  ('s, 'i) Ss_core.Transformer.params ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
+(** [run ~rng params config] executes the protocol from the given
+    (possibly corrupted) true states.  With [corrupt_mirrors] (default
+    [true]) the initial mirrors are independently scrambled, modelling
+    faults that also hit the cached copies.  A proof wave fires every
+    [heartbeat_every] events (default 400) — the timer-driven §6
+    heartbeat; without it, delta updates applied to a corrupted mirror
+    would never be repaired and the system could churn forever — and
+    additionally whenever the system looks locally quiescent.
+    Defaults: [encoding = Delta], [max_events = 2_000_000],
+    [proof_bits = 128] (hash + nonce).  Returns the final true states
+    and the traffic/work accounting. *)

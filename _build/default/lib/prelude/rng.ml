@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 g) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub (Int64.sub r v) (Int64.sub bound64 1L) < 0L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let chance g p =
+  if p >= 1.0 then true else if p <= 0.0 then false else float g 1.0 < p
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let subset g ~p l = List.filter (fun _ -> chance g p) l
+
+let nonempty_subset g ~p l =
+  match l with
+  | [] -> invalid_arg "Rng.nonempty_subset: empty list"
+  | _ -> (
+      match subset g ~p l with [] -> [ pick_list g l ] | s -> s)

@@ -1,0 +1,39 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t cells = t.rows <- cells :: t.rows
+let add_int_row t label xs = add_row t (label :: List.map string_of_int xs)
+
+let widths t =
+  let all = t.headers :: List.rev t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) row
+  in
+  List.iter feed all;
+  w
+
+let pad s n = s ^ String.make (max 0 (n - String.length s)) ' '
+
+let render ppf t =
+  let w = widths t in
+  let line row =
+    let cells =
+      List.mapi (fun i c -> pad c w.(i)) row
+      @ List.init
+          (Array.length w - List.length row)
+          (fun j -> pad "" w.(List.length row + j))
+    in
+    String.concat "  " cells
+  in
+  Format.fprintf ppf "%s@." (line t.headers);
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  Format.fprintf ppf "%s@." rule;
+  List.iter (fun r -> Format.fprintf ppf "%s@." (line r)) (List.rev t.rows)
+
+let print t =
+  render Format.std_formatter t;
+  Format.pp_print_newline Format.std_formatter ()

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints one table per paper artefact; this
+    module renders aligned, boxed ASCII tables on any formatter. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row.  Rows shorter than the header
+    are padded with empty cells; longer rows extend the table width. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label xs] appends [label] followed by the decimal
+    renderings of [xs]. *)
+
+val render : Format.formatter -> t -> unit
+(** Pretty-print the table with aligned columns and a separator line
+    under the header. *)
+
+val print : t -> unit
+(** [print t] renders [t] on [Format.std_formatter] followed by a
+    newline flush. *)

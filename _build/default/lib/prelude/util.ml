@@ -1,0 +1,42 @@
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Util.ceil_log2";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let bit_width n =
+  if n < 0 then invalid_arg "Util.bit_width";
+  let rec go k p = if n < p then k else go (k + 1) (p * 2) in
+  go 1 2
+
+let log_star n =
+  let rec go k m = if m <= 1 then k else go (k + 1) (ceil_log2 m) in
+  go 0 n
+
+let sum = List.fold_left ( + ) 0
+
+let max_of = function
+  | [] -> invalid_arg "Util.max_of: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let min_of = function
+  | [] -> invalid_arg "Util.min_of: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let range n = List.init n (fun i -> i)
+
+let array_for_all2 f a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (f a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let array_equal eq a b = array_for_all2 eq a b
+
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h

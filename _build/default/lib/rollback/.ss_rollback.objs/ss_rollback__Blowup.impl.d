@@ -1,0 +1,1 @@
+lib/rollback/blowup.ml: Array List Rollback Ss_algos Ss_graph Ss_sim

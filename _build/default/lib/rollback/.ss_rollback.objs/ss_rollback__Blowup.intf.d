@@ -1,0 +1,1 @@
+lib/rollback/blowup.mli: Rollback Ss_sim

@@ -1,0 +1,1 @@
+lib/rollback/rollback.ml: Array Format Printf Ss_prelude Ss_sim Ss_sync

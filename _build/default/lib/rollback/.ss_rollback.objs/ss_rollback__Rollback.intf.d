@@ -1,0 +1,1 @@
+lib/rollback/rollback.mli: Ss_graph Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,99 @@
+module Algorithm = Ss_sim.Algorithm
+module Config = Ss_sim.Config
+module Sync_algo = Ss_sync.Sync_algo
+module Sync_runner = Ss_sync.Sync_runner
+module Util = Ss_prelude.Util
+module Rng = Ss_prelude.Rng
+
+type 's state = { init : 's; cells : 's array }
+
+let height st = Array.length st.cells
+
+let cell st i =
+  if i = 0 then st.init
+  else if i >= 1 && i <= height st then st.cells.(i - 1)
+  else invalid_arg "Rollback.cell"
+
+let equal eq a b = eq a.init b.init && Util.array_equal eq a.cells b.cells
+let fix = "FIX"
+
+let recompute sync (v : ('s state, 'i) Algorithm.view) =
+  let self = v.Algorithm.self in
+  let b = height self in
+  let cells =
+    Array.init b (fun idx ->
+        let i = idx + 1 in
+        sync.Sync_algo.step v.Algorithm.input
+          (cell self (i - 1))
+          (Array.map (fun nb -> cell nb (i - 1)) v.Algorithm.neighbors))
+  in
+  { self with cells }
+
+let algorithm sync ~bound =
+  if bound < 1 then invalid_arg "Rollback.algorithm: bound must be >= 1";
+  let eq = equal sync.Sync_algo.equal in
+  {
+    Algorithm.algo_name =
+      Printf.sprintf "rollback(%s,B=%d)" sync.Sync_algo.sync_name bound;
+    equal = eq;
+    rules =
+      [
+        {
+          Algorithm.rule_name = fix;
+          guard = (fun v -> not (eq v.Algorithm.self (recompute sync v)));
+          action = (fun v -> recompute sync v);
+        };
+      ];
+    pp_state =
+      (fun ppf st ->
+        Format.fprintf ppf "[%a]"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+             sync.Sync_algo.pp_state)
+          (Array.to_list st.cells));
+  }
+
+let clean_config sync ~bound g ~inputs =
+  Config.make g ~inputs ~states:(fun p ->
+      let init = sync.Sync_algo.init (inputs p) in
+      { init; cells = Array.make bound init })
+
+let config_of_cells g ~inputs ~init ~cells ~bound =
+  Config.make g ~inputs ~states:(fun p ->
+      { init = init p; cells = Array.init bound (fun idx -> cells p (idx + 1)) })
+
+let corrupt rng ?(p = 1.0) sync config =
+  let states =
+    Array.mapi
+      (fun node st ->
+        if Rng.chance rng p then
+          {
+            st with
+            cells =
+              Array.map
+                (fun c ->
+                  if Rng.bool rng then
+                    sync.Sync_algo.random_state rng (Config.input config node)
+                  else c)
+                st.cells;
+          }
+        else st)
+      config.Config.states
+  in
+  Config.with_states config states
+
+let simulates_history sync history config =
+  let eq = sync.Sync_algo.equal in
+  let ok p =
+    let st = Config.state config p in
+    eq st.init (Sync_runner.state_at history ~round:0 ~node:p)
+    &&
+    let rec go i =
+      i > height st
+      || (eq (cell st i) (Sync_runner.state_at history ~round:i ~node:p)
+         && go (i + 1))
+    in
+    go 1
+  in
+  let rec go p = p >= Config.n config || (ok p && go (p + 1)) in
+  go 0

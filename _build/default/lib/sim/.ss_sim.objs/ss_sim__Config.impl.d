@@ -1,0 +1,1 @@
+lib/sim/config.ml: Algorithm Array Format Ss_graph Ss_prelude

@@ -1,0 +1,1 @@
+lib/sim/daemon.ml: List Printf Ss_prelude

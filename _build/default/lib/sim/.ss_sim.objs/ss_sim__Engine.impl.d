@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Algorithm Array Config Daemon Hashtbl List Option Printf Rounds

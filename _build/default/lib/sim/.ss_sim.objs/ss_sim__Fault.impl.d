@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Array Config List Ss_prelude

@@ -1,0 +1,1 @@
+lib/sim/rounds.ml: Int List Set

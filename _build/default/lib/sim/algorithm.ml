@@ -1,0 +1,33 @@
+type ('s, 'i) view = { input : 'i; self : 's; neighbors : 's array }
+
+type ('s, 'i) rule = {
+  rule_name : string;
+  guard : ('s, 'i) view -> bool;
+  action : ('s, 'i) view -> 's;
+}
+
+type ('s, 'i) t = {
+  algo_name : string;
+  equal : 's -> 's -> bool;
+  rules : ('s, 'i) rule list;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+let enabled_rule algo view = List.find_opt (fun r -> r.guard view) algo.rules
+let is_enabled algo view = List.exists (fun r -> r.guard view) algo.rules
+let rule_names algo = List.map (fun r -> r.rule_name) algo.rules
+
+let map_input f algo =
+  let adapt_view v = { v with input = f v.input } in
+  {
+    algo with
+    rules =
+      List.map
+        (fun r ->
+          {
+            r with
+            guard = (fun v -> r.guard (adapt_view v));
+            action = (fun v -> r.action (adapt_view v));
+          })
+        algo.rules;
+  }

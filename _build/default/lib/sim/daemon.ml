@@ -1,0 +1,42 @@
+module Rng = Ss_prelude.Rng
+
+type t = {
+  daemon_name : string;
+  select : step:int -> enabled:int list -> int list;
+}
+
+let of_fun daemon_name select = { daemon_name; select }
+let synchronous = of_fun "synchronous" (fun ~step:_ ~enabled -> enabled)
+
+let central_random rng =
+  of_fun "central-random" (fun ~step:_ ~enabled -> [ Rng.pick_list rng enabled ])
+
+let central_min =
+  of_fun "central-min" (fun ~step:_ ~enabled ->
+      match enabled with [] -> [] | p :: _ -> [ p ])
+
+let central_max =
+  of_fun "central-max" (fun ~step:_ ~enabled ->
+      match List.rev enabled with [] -> [] | p :: _ -> [ p ])
+
+let distributed_random rng ~p =
+  of_fun
+    (Printf.sprintf "distributed-random(p=%.2f)" p)
+    (fun ~step:_ ~enabled -> Rng.nonempty_subset rng ~p enabled)
+
+let round_robin () =
+  let cursor = ref (-1) in
+  of_fun "round-robin" (fun ~step:_ ~enabled ->
+      let after = List.filter (fun q -> q > !cursor) enabled in
+      let chosen = match after with q :: _ -> q | [] -> List.hd enabled in
+      cursor := chosen;
+      [ chosen ])
+
+let scripted ?(fallback = synchronous) moves =
+  let remaining = ref moves in
+  of_fun "scripted" (fun ~step ~enabled ->
+      match !remaining with
+      | [] -> fallback.select ~step ~enabled
+      | sel :: rest ->
+          remaining := rest;
+          sel)

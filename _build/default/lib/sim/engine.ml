@@ -1,0 +1,98 @@
+exception Invalid_selection of string
+
+type ('s, 'i) stats = {
+  final : ('s, 'i) Config.t;
+  steps : int;
+  moves : int;
+  rounds : int;
+  terminated : bool;
+  moves_per_node : int array;
+  moves_per_rule : (string * int) list;
+}
+
+type ('s, 'i) observer =
+  step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
+
+let validate_selection config enabled selected =
+  if selected = [] then raise (Invalid_selection "daemon selected no node");
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= Config.n config then
+        raise (Invalid_selection (Printf.sprintf "node %d out of range" p));
+      if Hashtbl.mem seen p then
+        raise (Invalid_selection (Printf.sprintf "node %d selected twice" p));
+      Hashtbl.add seen p ();
+      if not (List.mem p enabled) then
+        raise
+          (Invalid_selection (Printf.sprintf "node %d selected but not enabled" p)))
+    selected
+
+let step algo config selected =
+  let enabled = Config.enabled_nodes algo config in
+  validate_selection config enabled selected;
+  (* All moves read the pre-step configuration: compute every new state
+     before writing any. *)
+  let moves =
+    List.map
+      (fun p ->
+        let view = Config.view config p in
+        match Algorithm.enabled_rule algo view with
+        | Some rule -> (p, rule.Algorithm.rule_name, rule.Algorithm.action view)
+        | None -> assert false (* validated above *))
+      selected
+  in
+  let states = Array.copy config.Config.states in
+  List.iter (fun (p, _, s) -> states.(p) <- s) moves;
+  (Config.with_states config states, List.map (fun (p, r, _) -> (p, r)) moves)
+
+let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
+
+let run ?(max_steps = 10_000_000) ?(max_moves = max_int)
+    ?(observer = no_observer) algo daemon config =
+  let n = Config.n config in
+  let moves_per_node = Array.make n 0 in
+  let rule_counts = Hashtbl.create 8 in
+  let bump_rule r =
+    Hashtbl.replace rule_counts r (1 + Option.value ~default:0 (Hashtbl.find_opt rule_counts r))
+  in
+  let rec loop config steps moves tracker =
+    let enabled = Config.enabled_nodes algo config in
+    if enabled = [] then (config, steps, moves, true)
+    else if steps >= max_steps || moves >= max_moves then
+      (config, steps, moves, false)
+    else begin
+      let selected = daemon.Daemon.select ~step:steps ~enabled in
+      let config', moved = step algo config selected in
+      List.iter
+        (fun (p, r) ->
+          moves_per_node.(p) <- moves_per_node.(p) + 1;
+          bump_rule r)
+        moved;
+      let enabled_after = Config.enabled_nodes algo config' in
+      Rounds.note_step tracker ~moved:(List.map fst moved) ~enabled_after;
+      observer ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved
+        config';
+      loop config' (steps + 1) (moves + List.length moved) tracker
+    end
+  in
+  let tracker = Rounds.create ~enabled:(Config.enabled_nodes algo config) in
+  observer ~step:0 ~rounds:0 ~moved:[] config;
+  let final, steps, moves, terminated = loop config 0 0 tracker in
+  let moves_per_rule =
+    List.map
+      (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt rule_counts r)))
+      (Algorithm.rule_names algo)
+  in
+  {
+    final;
+    steps;
+    moves;
+    rounds = Rounds.completed tracker;
+    terminated;
+    moves_per_node;
+    moves_per_rule;
+  }
+
+let run_synchronous ?max_steps algo config =
+  run ?max_steps algo Daemon.synchronous config

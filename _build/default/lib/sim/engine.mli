@@ -1,0 +1,62 @@
+(** Execution engine for the atomic-state model.
+
+    Starting from a configuration, the engine repeatedly asks the
+    daemon for a nonempty set of enabled nodes, lets each selected
+    node execute its highest-priority enabled rule {e atomically and
+    simultaneously} (all guards and actions read the pre-step
+    configuration), and accounts moves, steps and rounds.  An
+    execution ends at a terminal configuration (no enabled node — the
+    algorithm is silent there) or when a step/move budget runs out. *)
+
+exception Invalid_selection of string
+(** Raised when a daemon selects an empty set, a node that is not
+    enabled, or a duplicated node (scripted adversaries are validated
+    this way). *)
+
+type ('s, 'i) stats = {
+  final : ('s, 'i) Config.t;  (** Last configuration reached. *)
+  steps : int;  (** Number of daemon steps executed. *)
+  moves : int;  (** Total rule executions (the paper's moves). *)
+  rounds : int;  (** Completed rounds (neutralization-based). *)
+  terminated : bool;  (** Whether a terminal configuration was reached. *)
+  moves_per_node : int array;  (** Moves of each node. *)
+  moves_per_rule : (string * int) list;
+      (** Moves per rule label, in the algorithm's priority order. *)
+}
+
+type ('s, 'i) observer =
+  step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
+(** Called once on the initial configuration ([step = 0], [moved = []])
+    and after every step with the (node, rule label) pairs that moved
+    and the configuration reached. *)
+
+val run :
+  ?max_steps:int ->
+  ?max_moves:int ->
+  ?observer:('s, 'i) observer ->
+  ('s, 'i) Algorithm.t ->
+  Daemon.t ->
+  ('s, 'i) Config.t ->
+  ('s, 'i) stats
+(** [run algo daemon config] executes until termination or budget
+    exhaustion (defaults: [max_steps = 10_000_000], [max_moves]
+    unlimited).  [stats.terminated] reports which happened.
+    @raise Invalid_selection on malformed daemon selections. *)
+
+val step :
+  ('s, 'i) Algorithm.t ->
+  ('s, 'i) Config.t ->
+  int list ->
+  ('s, 'i) Config.t * (int * string) list
+(** [step algo config selected] performs one atomic step activating
+    exactly [selected]: returns the new configuration and the (node,
+    rule) moves.  Validates the selection.
+    @raise Invalid_selection on malformed selections. *)
+
+val run_synchronous :
+  ?max_steps:int ->
+  ('s, 'i) Algorithm.t ->
+  ('s, 'i) Config.t ->
+  ('s, 'i) stats
+(** Convenience: run under the synchronous daemon (steps = rounds
+    except for the final, terminal configuration). *)

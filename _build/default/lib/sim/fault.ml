@@ -1,0 +1,16 @@
+module Rng = Ss_prelude.Rng
+
+type 's mutator = Rng.t -> 's -> 's
+
+let corrupt rng ?(p = 1.0) mutator config =
+  let states =
+    Array.map
+      (fun s -> if Rng.chance rng p then mutator rng s else s)
+      config.Config.states
+  in
+  Config.with_states config states
+
+let corrupt_nodes rng mutator nodes config =
+  let states = Array.copy config.Config.states in
+  List.iter (fun p -> states.(p) <- mutator rng states.(p)) nodes;
+  Config.with_states config states

@@ -1,0 +1,28 @@
+(** Transient-fault injection.
+
+    Self-stabilization promises recovery from an {e arbitrary} initial
+    configuration; we model "after the last transient fault" by
+    mutating node states of a configuration.  How a state is corrupted
+    is algorithm-specific, so the mutator is a parameter (the
+    transformer layer provides one that scrambles statuses, truncates,
+    extends and garbles simulation lists while preserving the
+    read-only [init] part). *)
+
+type 's mutator = Ss_prelude.Rng.t -> 's -> 's
+(** A state corruption: given the current state, produce an arbitrary
+    replacement.  It must not touch read-only data (node inputs are
+    out of reach by construction). *)
+
+val corrupt :
+  Ss_prelude.Rng.t ->
+  ?p:float ->
+  's mutator ->
+  ('s, 'i) Config.t ->
+  ('s, 'i) Config.t
+(** [corrupt rng ~p mutator config] applies [mutator] to each node's
+    state independently with probability [p] (default [1.0], i.e. a
+    fully arbitrary configuration). *)
+
+val corrupt_nodes :
+  Ss_prelude.Rng.t -> 's mutator -> int list -> ('s, 'i) Config.t -> ('s, 'i) Config.t
+(** Corrupt exactly the listed nodes. *)

@@ -1,0 +1,19 @@
+module Int_set = Set.Make (Int)
+
+type t = { mutable pending : Int_set.t; mutable completed : int }
+
+let create ~enabled = { pending = Int_set.of_list enabled; completed = 0 }
+
+let note_step t ~moved ~enabled_after =
+  if not (Int_set.is_empty t.pending) then begin
+    let enabled_set = Int_set.of_list enabled_after in
+    let discharged p = List.mem p moved || not (Int_set.mem p enabled_set) in
+    t.pending <- Int_set.filter (fun p -> not (discharged p)) t.pending;
+    if Int_set.is_empty t.pending then begin
+      t.completed <- t.completed + 1;
+      t.pending <- enabled_set
+    end
+  end
+
+let completed t = t.completed
+let pending t = Int_set.elements t.pending

@@ -1,0 +1,28 @@
+(** Incremental round counting via neutralization (paper §2.2).
+
+    The first round of an execution is the minimal prefix in which
+    every node enabled in the initial configuration either executes a
+    move or is {e neutralized} (enabled before a step, disabled after
+    it, without moving); subsequent rounds are defined inductively on
+    the remaining suffix.  This tracker maintains the set of
+    round-opening enabled nodes not yet discharged and is valid under
+    any daemon. *)
+
+type t
+
+val create : enabled:int list -> t
+(** [create ~enabled] opens the first round with the nodes enabled in
+    the initial configuration.  If [enabled] is empty, the execution
+    is already terminal and the round count stays [0]. *)
+
+val note_step : t -> moved:int list -> enabled_after:int list -> unit
+(** [note_step t ~moved ~enabled_after] accounts for one step: nodes
+    that moved, or that are no longer enabled afterwards, are
+    discharged.  When every node of the current round is discharged
+    the round completes and the next one opens with [enabled_after]. *)
+
+val completed : t -> int
+(** Number of completed rounds so far. *)
+
+val pending : t -> int list
+(** Round-opening nodes not yet discharged (sorted), for debugging. *)

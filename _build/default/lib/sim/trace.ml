@@ -1,0 +1,48 @@
+type event = {
+  ev_step : int;
+  ev_rounds : int;
+  ev_moved : (int * string) list;
+}
+
+let make () =
+  let acc = ref [] in
+  let observer ~step ~rounds ~moved _config =
+    if step > 0 then
+      acc := { ev_step = step; ev_rounds = rounds; ev_moved = moved } :: !acc
+  in
+  (observer, fun () -> List.rev !acc)
+
+let with_configs () =
+  let acc = ref [] in
+  let observer ~step ~rounds ~moved config =
+    acc :=
+      ({ ev_step = step; ev_rounds = rounds; ev_moved = moved }, config) :: !acc
+  in
+  (observer, fun () -> List.rev !acc)
+
+let moves_of events =
+  List.fold_left (fun n e -> n + List.length e.ev_moved) 0 events
+
+let to_csv events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "step,rounds,node,rule\n";
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (node, rule) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%d,%s\n" e.ev_step e.ev_rounds node rule))
+        e.ev_moved)
+    events;
+  Buffer.contents buf
+
+let to_schedule events =
+  List.filter_map
+    (fun e ->
+      match e.ev_moved with [] -> None | moved -> Some (List.map fst moved))
+    events
+
+let pp_event ppf e =
+  Format.fprintf ppf "step %d (%d rounds):" e.ev_step e.ev_rounds;
+  List.iter (fun (node, rule) -> Format.fprintf ppf " %d:%s" node rule) e.ev_moved
+

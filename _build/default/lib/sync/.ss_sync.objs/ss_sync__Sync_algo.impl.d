@@ -1,0 +1,1 @@
+lib/sync/sync_algo.ml: Format Ss_prelude

@@ -1,0 +1,1 @@
+lib/sync/sync_algo.mli: Format Ss_prelude

@@ -1,0 +1,1 @@
+lib/sync/sync_runner.ml: Array List Printf Ss_graph Ss_prelude Sync_algo

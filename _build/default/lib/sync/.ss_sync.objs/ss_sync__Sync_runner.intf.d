@@ -1,0 +1,1 @@
+lib/sync/sync_runner.mli: Ss_graph Sync_algo

@@ -1,0 +1,11 @@
+type ('s, 'i) t = {
+  sync_name : string;
+  equal : 's -> 's -> bool;
+  init : 'i -> 's;
+  step : 'i -> 's -> 's array -> 's;
+  random_state : Ss_prelude.Rng.t -> 'i -> 's;
+  state_bits : 's -> int;
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+let apply algo input self neighbors = algo.step input self neighbors

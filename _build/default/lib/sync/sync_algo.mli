@@ -1,0 +1,36 @@
+(** Terminating synchronous algorithms — the transformer's input class
+    (paper §3.1).
+
+    An algorithm is given by an initial state (computed from the
+    node's read-only input) and a step function: at every synchronous
+    round each node simultaneously computes its next state from its
+    own state and its neighbors' states.  The algorithm {e terminates}
+    when a global fixpoint is reached; its execution time [T] is the
+    number of rounds to get there, and its space complexity [S] is the
+    number of bits of a state.
+
+    Neighbor states are presented in port order.  Algorithms for the
+    weak model of §2.2 must treat the array as a multiset; algorithms
+    for stronger models (§3.3) may use ids carried in ['i] or index by
+    port. *)
+
+type ('s, 'i) t = {
+  sync_name : string;
+  equal : 's -> 's -> bool;
+  init : 'i -> 's;
+      (** The controlled initial state — the transformer's read-only
+          [st.init]. *)
+  step : 'i -> 's -> 's array -> 's;
+      (** [step input self neighbors] is the next state.  Must be a
+          pure function of its arguments. *)
+  random_state : Ss_prelude.Rng.t -> 'i -> 's;
+      (** An arbitrary (possibly corrupt) state, used to model
+          transient faults hitting simulation list cells. *)
+  state_bits : 's -> int;
+      (** Size of the state's encoding in bits — the paper's [S]; used
+          by the space metric (Table 1) and the §6 energy model. *)
+  pp_state : Format.formatter -> 's -> unit;
+}
+
+val apply : ('s, 'i) t -> 'i -> 's -> 's array -> 's
+(** [apply algo input self neighbors] runs one step. *)

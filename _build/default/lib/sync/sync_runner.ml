@@ -1,0 +1,51 @@
+module Graph = Ss_graph.Graph
+
+type ('s, 'i) history = {
+  graph : Graph.t;
+  inputs : 'i array;
+  states_by_round : 's array array;
+  t : int;
+}
+
+exception Did_not_terminate of string
+
+let sync_step algo inputs g states =
+  Array.mapi
+    (fun p self ->
+      let neighbors = Array.map (fun q -> states.(q)) (Graph.neighbors g p) in
+      algo.Sync_algo.step inputs.(p) self neighbors)
+    states
+
+let run ?max_rounds algo g ~inputs =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> (4 * n) + 64
+  in
+  let inputs = Array.init n inputs in
+  let row0 = Array.init n (fun p -> algo.Sync_algo.init inputs.(p)) in
+  let rec go rows current round =
+    if round > max_rounds then
+      raise
+        (Did_not_terminate
+           (Printf.sprintf "%s did not reach a fixpoint within %d rounds"
+              algo.Sync_algo.sync_name max_rounds));
+    let next = sync_step algo inputs g current in
+    if Ss_prelude.Util.array_equal algo.Sync_algo.equal current next then
+      (List.rev rows, round)
+    else go (next :: rows) next (round + 1)
+  in
+  let rows, t = go [ row0 ] row0 0 in
+  { graph = g; inputs; states_by_round = Array.of_list rows; t }
+
+let state_at h ~round ~node =
+  let r = min round h.t in
+  h.states_by_round.(r).(node)
+
+let final h = h.states_by_round.(h.t)
+let execution_time h = h.t
+
+let max_state_bits algo h =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc s -> max acc (algo.Sync_algo.state_bits s)) acc row)
+    0 h.states_by_round

@@ -1,0 +1,44 @@
+(** Reference executor for synchronous algorithms.
+
+    Runs an algorithm from its controlled initial configuration under
+    the synchronous daemon and records the whole history
+    [st_p^0, st_p^1, …, st_p^T] — the ground truth the transformer's
+    lists must converge to (paper §3: ultimately
+    [p.L\[i\] = st_p^i]). *)
+
+type ('s, 'i) history = {
+  graph : Ss_graph.Graph.t;
+  inputs : 'i array;
+  states_by_round : 's array array;
+      (** [states_by_round.(i).(p)] is [st_p^i]; row [0] is the initial
+          configuration, row [t] the fixpoint. *)
+  t : int;  (** Execution time [T]: first round index with no change. *)
+}
+
+exception Did_not_terminate of string
+(** Raised when no fixpoint is reached within the round budget. *)
+
+val run :
+  ?max_rounds:int ->
+  ('s, 'i) Sync_algo.t ->
+  Ss_graph.Graph.t ->
+  inputs:(int -> 'i) ->
+  ('s, 'i) history
+(** [run algo g ~inputs] executes until the global fixpoint (default
+    budget: [4 * n + 64] rounds — ample for all the algorithms here,
+    whose [T] is at most [n]).
+    @raise Did_not_terminate when the budget is exhausted. *)
+
+val state_at : ('s, 'i) history -> round:int -> node:int -> 's
+(** [state_at h ~round ~node] is [st_node^round], with rounds beyond
+    [T] clamped to the fixpoint (the paper's "the last rounds do
+    nothing"). *)
+
+val final : ('s, 'i) history -> 's array
+(** The fixpoint row. *)
+
+val execution_time : ('s, 'i) history -> int
+(** [T]. *)
+
+val max_state_bits : ('s, 'i) Sync_algo.t -> ('s, 'i) history -> int
+(** Largest [state_bits] over all rounds and nodes — the measured [S]. *)

@@ -1,0 +1,1 @@
+lib/verify/anonymity.ml: Array Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,1 @@
+lib/verify/anonymity.mli: Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,1 @@
+lib/verify/stabilization.ml: List Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync

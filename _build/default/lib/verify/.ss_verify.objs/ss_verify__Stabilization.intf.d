@@ -1,0 +1,1 @@
+lib/verify/stabilization.mli: Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync

@@ -1,0 +1,51 @@
+(** Model-compatibility checks (paper §2.2 / §3.3).
+
+    The transformer's weakest host model hands a node only the {e set}
+    of its neighbors' states — it cannot tell neighbors apart, count
+    duplicates, or use port numbers.  Algorithms claiming to run in
+    that model (min-flood, and the transformer's own rules) must
+    therefore be invariant under any permutation of the neighbor
+    array, and under duplication of equal states.  Stronger models
+    (ports for BFS, identifiers for leader election) legitimately
+    break these invariances.
+
+    These checkers turn the model hierarchy into executable tests. *)
+
+val sync_step_port_invariant :
+  rng:Ss_prelude.Rng.t ->
+  trials:int ->
+  ('s, 'i) Ss_sync.Sync_algo.t ->
+  gen_input:(Ss_prelude.Rng.t -> 'i) ->
+  gen_state:(Ss_prelude.Rng.t -> 's) ->
+  max_degree:int ->
+  bool
+(** Randomized check that a synchronous algorithm's step function is
+    invariant under permutations of its neighbor array: for random
+    inputs, states and neighbor multisets, [step i s nbrs] equals
+    [step i s (shuffle nbrs)].  Returns [false] on the first violation. *)
+
+val sync_step_multiset_invariant :
+  rng:Ss_prelude.Rng.t ->
+  trials:int ->
+  ('s, 'i) Ss_sync.Sync_algo.t ->
+  gen_input:(Ss_prelude.Rng.t -> 'i) ->
+  gen_state:(Ss_prelude.Rng.t -> 's) ->
+  max_degree:int ->
+  bool
+(** Stronger check for the set-based semantics: duplicating an
+    existing neighbor state must not change the step's result (the
+    weak model §2.2 cannot even count how many neighbors share a
+    state). *)
+
+val rules_port_invariant :
+  rng:Ss_prelude.Rng.t ->
+  trials:int ->
+  ('s, 'i) Ss_sim.Algorithm.t ->
+  gen_input:(Ss_prelude.Rng.t -> 'i) ->
+  gen_state:(Ss_prelude.Rng.t -> 's) ->
+  max_degree:int ->
+  bool
+(** Randomized check that an atomic-state algorithm's guard
+    evaluation and selected rule/action are invariant under neighbor
+    permutations — the transformer instantiated on a weak-model input
+    algorithm must pass this. *)

@@ -1,0 +1,81 @@
+module Config = Ss_sim.Config
+module Daemon = Ss_sim.Daemon
+module Engine = Ss_sim.Engine
+module Sync_runner = Ss_sync.Sync_runner
+module Transformer = Ss_core.Transformer
+module Checker = Ss_core.Checker
+module Rng = Ss_prelude.Rng
+
+type ('s, 'i) scenario = {
+  params : ('s, 'i) Transformer.params;
+  graph : Ss_graph.Graph.t;
+  inputs : int -> 'i;
+}
+
+type 's report = {
+  moves : int;
+  steps : int;
+  rounds : int;
+  terminated : bool;
+  recovery_moves : int;
+  recovery_rounds : int;
+  space_bits : int;
+  moves_per_rule : (string * int) list;
+  legitimate : bool;
+  outputs : 's array;
+}
+
+let history sc = Sync_runner.run sc.params.Transformer.sync sc.graph ~inputs:sc.inputs
+let clean_start sc = Transformer.clean_config sc.params sc.graph ~inputs:sc.inputs
+
+let corrupted_start rng ?p ~max_height sc =
+  Transformer.corrupt rng ?p ~max_height sc.params (clean_start sc)
+
+let run ?(track_recovery = true) ?max_steps sc ~daemon ~start =
+  (* Recovery phase end: the first configuration without a root.  Roots
+     cannot be created (paper §4), so once none remains the recovery
+     phase is over for good. *)
+  let recovery_moves = ref (-1) in
+  let recovery_rounds = ref (-1) in
+  let moves_so_far = ref 0 in
+  let observer ~step:_ ~rounds ~moved config =
+    moves_so_far := !moves_so_far + List.length moved;
+    if track_recovery && !recovery_moves < 0
+       && not (Checker.has_root sc.params config)
+    then begin
+      recovery_moves := !moves_so_far;
+      recovery_rounds := rounds
+    end
+  in
+  let observer =
+    if track_recovery then Some observer else None
+  in
+  let stats = Transformer.run ?max_steps ?observer sc.params daemon start in
+  let hist = history sc in
+  let legitimate =
+    stats.Engine.terminated
+    && Checker.legitimate_terminal sc.params hist stats.Engine.final = Ok ()
+  in
+  {
+    moves = stats.Engine.moves;
+    steps = stats.Engine.steps;
+    rounds = stats.Engine.rounds;
+    terminated = stats.Engine.terminated;
+    recovery_moves = !recovery_moves;
+    recovery_rounds = !recovery_rounds;
+    space_bits = Checker.space_bits sc.params stats.Engine.final;
+    moves_per_rule = stats.Engine.moves_per_rule;
+    legitimate;
+    outputs = Transformer.outputs stats.Engine.final;
+  }
+
+let daemon_portfolio rng =
+  [
+    ("synchronous", Daemon.synchronous);
+    ("async-dense", Daemon.distributed_random (Rng.split rng) ~p:0.75);
+    ("async-medium", Daemon.distributed_random (Rng.split rng) ~p:0.5);
+    ("async-sparse", Daemon.distributed_random (Rng.split rng) ~p:0.15);
+    ("central-random", Daemon.central_random (Rng.split rng));
+    ("central-min", Daemon.central_min);
+    ("round-robin", Daemon.round_robin ());
+  ]

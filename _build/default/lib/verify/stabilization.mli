@@ -1,0 +1,70 @@
+(** Self-stabilization measurement harness.
+
+    A {!scenario} bundles a transformed algorithm with its workload
+    (topology and inputs).  {!run} executes it from a chosen start
+    configuration under a chosen daemon and reports everything the
+    Table 1 experiments need: moves, rounds, the end of the error
+    recovery phase (the step after which no root remains — the paper
+    proves roots cannot be created, so the first root-free
+    configuration is definitive), the space footprint, and the
+    legitimacy of the terminal configuration. *)
+
+type ('s, 'i) scenario = {
+  params : ('s, 'i) Ss_core.Transformer.params;
+  graph : Ss_graph.Graph.t;
+  inputs : int -> 'i;
+}
+
+type 's report = {
+  moves : int;
+  steps : int;
+  rounds : int;
+  terminated : bool;
+  recovery_moves : int;
+      (** Moves executed up to the first root-free configuration
+          ([0] when the start already has no root; [-1] when recovery
+          tracking is disabled). *)
+  recovery_rounds : int;  (** Rounds likewise. *)
+  space_bits : int;  (** Maximum per-node footprint over the execution's
+          final configuration. *)
+  moves_per_rule : (string * int) list;
+  legitimate : bool;
+      (** Terminal, root-free, equal heights, lists matching the
+          synchronous history. *)
+  outputs : 's array;  (** Final simulated outputs [L(h)]. *)
+}
+
+val history :
+  ('s, 'i) scenario -> ('s, 'i) Ss_sync.Sync_runner.history
+(** The synchronous ground truth of the scenario. *)
+
+val clean_start :
+  ('s, 'i) scenario -> ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t
+(** The controlled initial configuration. *)
+
+val corrupted_start :
+  Ss_prelude.Rng.t ->
+  ?p:float ->
+  max_height:int ->
+  ('s, 'i) scenario ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t
+(** A faulted start: {!clean_start} hit by
+    {!Ss_core.Transformer.corrupt}. *)
+
+val run :
+  ?track_recovery:bool ->
+  ?max_steps:int ->
+  ('s, 'i) scenario ->
+  daemon:Ss_sim.Daemon.t ->
+  start:('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
+  's report
+(** Execute and measure.  [track_recovery] (default [true]) checks for
+    remaining roots after every step — disable it for very long runs
+    where only totals matter. *)
+
+val daemon_portfolio :
+  Ss_prelude.Rng.t -> (string * Ss_sim.Daemon.t) list
+(** The adversary portfolio used to approximate worst-case complexity:
+    synchronous, three densities of random-subset daemons, uniform
+    central, deterministic unfair central, and round-robin.  Fresh
+    daemons are built from [rng] at each call. *)

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Buffer Format List Ss_algos Ss_core Ss_expt Ss_graph Ss_prelude Ss_sim Ss_verify String

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Ss_algos Ss_graph Ss_prelude Ss_sync Test

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Printf Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List QCheck QCheck_alcotest Ss_baselines Ss_graph Ss_prelude Ss_sim Test

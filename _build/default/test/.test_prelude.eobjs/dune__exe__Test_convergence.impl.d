@@ -1,0 +1,1 @@
+test/test_convergence.ml: Alcotest Array List QCheck QCheck_alcotest Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify Test

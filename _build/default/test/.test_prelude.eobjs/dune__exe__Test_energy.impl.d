@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Ss_algos Ss_core Ss_energy Ss_graph Ss_prelude Ss_sim

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Format Fun Int List Printf QCheck QCheck_alcotest Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync Ss_verify Test

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Printf QCheck QCheck_alcotest Ss_graph Ss_prelude String Test

@@ -1,0 +1,1 @@
+test/test_msgnet.ml: Alcotest List Printf QCheck QCheck_alcotest Ss_algos Ss_core Ss_graph Ss_msgnet Ss_prelude Ss_sync Test

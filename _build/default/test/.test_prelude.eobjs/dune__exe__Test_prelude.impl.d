@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Buffer Format Fun Int List Printf QCheck QCheck_alcotest Ss_prelude String Test

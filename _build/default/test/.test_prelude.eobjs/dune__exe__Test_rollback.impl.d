@@ -1,0 +1,1 @@
+test/test_rollback.ml: Alcotest Array List Printf Ss_algos Ss_expt Ss_graph Ss_prelude Ss_rollback Ss_sim Ss_sync

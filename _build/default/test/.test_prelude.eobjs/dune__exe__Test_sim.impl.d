@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Int List QCheck QCheck_alcotest Ss_graph Ss_prelude Ss_sim String Test

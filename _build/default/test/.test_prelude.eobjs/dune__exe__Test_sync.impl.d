@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Format Int List Printf QCheck QCheck_alcotest Ss_algos Ss_graph Ss_prelude Ss_sync Test

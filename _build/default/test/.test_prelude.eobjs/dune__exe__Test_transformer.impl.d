@@ -1,0 +1,1 @@
+test/test_transformer.ml: Alcotest Array Int List Option QCheck QCheck_alcotest Ss_algos Ss_core Ss_graph Ss_prelude Ss_sim Ss_sync Test

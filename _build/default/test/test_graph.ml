@@ -1,0 +1,434 @@
+(* Tests for Ss_graph: core structure, builders, properties, the G_k
+   family of §7, and the DOT export. *)
+
+module Graph = Ss_graph.Graph
+module Builders = Ss_graph.Builders
+module Properties = Ss_graph.Properties
+module Gk = Ss_graph.Gk
+module Dot = Ss_graph.Dot
+module Rng = Ss_prelude.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Core graph structure                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_edges_basic () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  check_int "n" 3 (Graph.n g);
+  check_int "m" 2 (Graph.m g);
+  check_int "degree 1" 2 (Graph.degree g 1);
+  check "edge 0-1" true (Graph.mem_edge g 0 1);
+  check "edge 1-0" true (Graph.mem_edge g 1 0);
+  check "no edge 0-2" false (Graph.mem_edge g 0 2)
+
+let test_of_edges_rejects () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph: self-loop at node 1") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (1, 1) ]));
+  check "parallel edge rejected" true
+    (try
+       ignore (Graph.of_edges ~n:2 [ (0, 1); (1, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  check "out of range rejected" true
+    (try
+       ignore (Graph.of_edges ~n:2 [ (0, 2) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_adjacency_symmetry () =
+  check "asymmetric rejected" true
+    (try
+       ignore (Graph.of_adjacency [| [| 1 |]; [||] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_port_of () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (0, 2) ] in
+  check_int "port of 1 at 0" 0 (Graph.port_of g 0 1);
+  check_int "port of 2 at 0" 1 (Graph.port_of g 0 2);
+  check "not a neighbor" true
+    (try
+       ignore (Graph.port_of g 1 2);
+       false
+     with Not_found -> true);
+  (* Port i of p indexes neighbors g p. *)
+  let nbrs = Graph.neighbors g 0 in
+  check_int "round trip" 1 nbrs.(Graph.port_of g 0 1)
+
+let test_edges_listing () =
+  let g = Graph.of_edges ~n:4 [ (2, 1); (0, 3); (1, 0) ] in
+  Alcotest.(check (list (pair int int)))
+    "sorted u<v" [ (0, 1); (0, 3); (1, 2) ] (Graph.edges g)
+
+let test_fold_and_max_degree () =
+  let g = Builders.star 5 in
+  check_int "max degree" 4 (Graph.max_degree g);
+  check_int "node count via fold" 5
+    (Graph.fold_nodes g ~init:0 ~f:(fun acc _ -> acc + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_path () =
+  let g = Builders.path 5 in
+  check_int "m" 4 (Graph.m g);
+  check_int "diameter" 4 (Properties.diameter g);
+  check "tree" true (Properties.is_tree g);
+  check_int "single node path" 1 (Graph.n (Builders.path 1))
+
+let test_cycle () =
+  let g = Builders.cycle 6 in
+  check_int "m" 6 (Graph.m g);
+  check_int "diameter" 3 (Properties.diameter g);
+  (* Orientation convention: port 0 is clockwise, port 1 counterclockwise. *)
+  Graph.iter_nodes g (fun i ->
+      let nbrs = Graph.neighbors g i in
+      check_int "port 0 is clockwise" ((i + 1) mod 6) nbrs.(0);
+      check_int "port 1 is counterclockwise" ((i + 5) mod 6) nbrs.(1))
+
+let test_cycle_odd () =
+  check_int "odd cycle diameter" 3 (Properties.diameter (Builders.cycle 7));
+  Alcotest.check_raises "n<3 rejected" (Invalid_argument "Builders.cycle")
+    (fun () -> ignore (Builders.cycle 2))
+
+let test_complete () =
+  let g = Builders.complete 5 in
+  check_int "m" 10 (Graph.m g);
+  check_int "diameter" 1 (Properties.diameter g)
+
+let test_star () =
+  let g = Builders.star 6 in
+  check_int "m" 5 (Graph.m g);
+  check_int "diameter" 2 (Properties.diameter g);
+  check_int "center degree" 5 (Graph.degree g 0)
+
+let test_grid () =
+  let g = Builders.grid ~rows:3 ~cols:4 in
+  check_int "n" 12 (Graph.n g);
+  check_int "m" ((2 * 4) + (3 * 3)) (Graph.m g);
+  check_int "diameter" 5 (Properties.diameter g)
+
+let test_torus () =
+  let g = Builders.torus ~rows:3 ~cols:4 in
+  check_int "n" 12 (Graph.n g);
+  check_int "m" 24 (Graph.m g);
+  Graph.iter_nodes g (fun p -> check_int "4-regular" 4 (Graph.degree g p))
+
+let test_hypercube () =
+  let g = Builders.hypercube 4 in
+  check_int "n" 16 (Graph.n g);
+  check_int "m" 32 (Graph.m g);
+  check_int "diameter" 4 (Properties.diameter g);
+  Graph.iter_nodes g (fun p -> check_int "regular" 4 (Graph.degree g p));
+  check_int "trivial cube" 1 (Graph.n (Builders.hypercube 0))
+
+let test_binary_tree () =
+  let g = Builders.binary_tree 15 in
+  check "is tree" true (Properties.is_tree g);
+  check_int "diameter" 6 (Properties.diameter g)
+
+let test_lollipop () =
+  let g = Builders.lollipop ~clique:4 ~tail:3 in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" (6 + 3) (Graph.m g);
+  check "connected" true (Properties.is_connected g);
+  check_int "diameter" 4 (Properties.diameter g)
+
+let test_wheel () =
+  let g = Builders.wheel 7 in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" 12 (Graph.m g);
+  check_int "hub degree" 6 (Graph.degree g 0);
+  check_int "rim degree" 3 (Graph.degree g 3);
+  check_int "diameter" 2 (Properties.diameter g)
+
+let test_complete_bipartite () =
+  let g = Builders.complete_bipartite 2 3 in
+  check_int "n" 5 (Graph.n g);
+  check_int "m" 6 (Graph.m g);
+  check "no intra-left edge" false (Graph.mem_edge g 0 1);
+  check "no intra-right edge" false (Graph.mem_edge g 2 3);
+  check "cross edges" true (Graph.mem_edge g 0 2 && Graph.mem_edge g 1 4);
+  check_int "diameter" 2 (Properties.diameter g)
+
+let test_caterpillar () =
+  let g = Builders.caterpillar ~spine:4 ~legs:3 in
+  check_int "n" 16 (Graph.n g);
+  check "is tree" true (Properties.is_tree g);
+  (* Leaf on first spine node to leaf on last spine node. *)
+  check_int "diameter" 5 (Properties.diameter g);
+  let bare = Builders.caterpillar ~spine:5 ~legs:0 in
+  check_int "no legs = path" 4 (Properties.diameter bare)
+
+let test_random_tree () =
+  let rng = Rng.create 3 in
+  for n = 1 to 20 do
+    check "is tree" true (Properties.is_tree (Builders.random_tree rng n))
+  done
+
+let test_random_connected () =
+  let rng = Rng.create 4 in
+  let g = Builders.random_connected rng ~n:12 ~extra_edges:5 in
+  check "connected" true (Properties.is_connected g);
+  check_int "edge count" (11 + 5) (Graph.m g);
+  (* Saturation: requesting more edges than possible caps gracefully. *)
+  let k = Builders.random_connected rng ~n:4 ~extra_edges:1000 in
+  check_int "saturates at clique" 6 (Graph.m k)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_distances () =
+  let g = Builders.path 5 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |]
+    (Properties.bfs_distances g 0);
+  Alcotest.(check (array int)) "from middle" [| 2; 1; 0; 1; 2 |]
+    (Properties.bfs_distances g 2)
+
+let test_distance_disconnected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  check "disconnected" false (Properties.is_connected g);
+  check_int "unreachable" max_int (Properties.distance g 0 2);
+  Alcotest.check_raises "eccentricity raises"
+    (Invalid_argument "Properties.eccentricity: disconnected") (fun () ->
+      ignore (Properties.eccentricity g 0))
+
+let test_radius () =
+  let g = Builders.path 5 in
+  check_int "radius" 2 (Properties.radius g);
+  check_int "diameter" 4 (Properties.diameter g)
+
+let test_all_pairs () =
+  let g = Builders.cycle 5 in
+  let d = Properties.all_pairs_distances g in
+  check_int "d(0,2)" 2 d.(0).(2);
+  check_int "d(0,3)" 2 d.(0).(3);
+  check "symmetric" true
+    (List.for_all
+       (fun (u, v) -> d.(u).(v) = d.(v).(u))
+       [ (0, 1); (1, 3); (2, 4) ])
+
+(* ------------------------------------------------------------------ *)
+(* G_k (§7, Figure 1)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_gk_structure () =
+  let k = 3 in
+  let g = Gk.make k in
+  check_int "n = 5k" 15 (Graph.n g);
+  (* Each block contributes 4 internal edges; blocks >= 2 add 2 cross
+     edges. *)
+  check_int "m" ((4 * k) + (2 * (k - 1))) (Graph.m g);
+  check "connected" true (Properties.is_connected g);
+  let nd role i = Gk.node ~k role i in
+  check "b3-c2 cross edge" true (Graph.mem_edge g (nd Gk.B 3) (nd Gk.C 2));
+  check "e3-c2 cross edge" true (Graph.mem_edge g (nd Gk.E 3) (nd Gk.C 2));
+  check "b3-a3 edge" true (Graph.mem_edge g (nd Gk.B 3) (nd Gk.A 3));
+  check "no b3-e3 edge" false (Graph.mem_edge g (nd Gk.B 3) (nd Gk.E 3))
+
+let test_gk_roles () =
+  let k = 4 in
+  for i = 1 to k do
+    List.iter
+      (fun role ->
+        let v = Gk.node ~k role i in
+        check_int "block round trip" i (Gk.block_of v);
+        check "role round trip" true (Gk.role_of v = role))
+      [ Gk.B; Gk.A; Gk.C; Gk.D; Gk.E ]
+  done
+
+let test_gk_bottom_path () =
+  let k = 3 in
+  let g = Gk.make k in
+  let bp = Gk.bottom_path ~k 3 in
+  check_int "length 3i" 9 (List.length bp);
+  (* Consecutive nodes of the bottom path are adjacent. *)
+  let rec adjacent = function
+    | a :: b :: rest -> Graph.mem_edge g a b && adjacent (b :: rest)
+    | _ -> true
+  in
+  check "is a path" true (adjacent bp);
+  check_int "starts at c_i" (Gk.node ~k Gk.C 3) (List.hd bp);
+  check_int "ends at e_1" (Gk.node ~k Gk.E 1) (List.nth bp 8)
+
+let test_gk_fig1_indices () =
+  (* Figure 1 gives the initial configuration of G_3 explicitly. *)
+  let k = 3 in
+  let expect =
+    [
+      (Gk.A, 3, 1); (Gk.B, 3, 3); (Gk.C, 3, 1); (Gk.D, 3, 2); (Gk.E, 3, 3);
+      (Gk.A, 2, 4); (Gk.B, 2, 6); (Gk.C, 2, 4); (Gk.D, 2, 5); (Gk.E, 2, 6);
+      (Gk.A, 1, 7); (Gk.B, 1, 9); (Gk.C, 1, 7); (Gk.D, 1, 8); (Gk.E, 1, 9);
+    ]
+  in
+  List.iter
+    (fun (role, i, idx) ->
+      check_int
+        (Printf.sprintf "%s%d" (Gk.role_name role) i)
+        idx
+        (Gk.fig1_index ~k (Gk.node ~k role i)))
+    expect;
+  check_int "max index" 9 (Gk.max_fig1_index ~k)
+
+let test_gk_rejects () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Gk.make") (fun () ->
+      ignore (Gk.make 0));
+  Alcotest.check_raises "block out of range"
+    (Invalid_argument "Gk.node: block out of range") (fun () ->
+      ignore (Gk.node ~k:2 Gk.A 3))
+
+(* ------------------------------------------------------------------ *)
+(* Dot                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_dot_graph () =
+  let g = Builders.path 3 in
+  let s = Dot.of_graph ~name:"p" g in
+  check "has graph header" true (contains s "graph p {");
+  check "has edge" true (contains s "n0 -- n1");
+  check "has labels" true (contains s "label=\"2\"")
+
+let test_dot_tree () =
+  let g = Builders.cycle 4 in
+  let parent = function 0 -> None | v -> Some (v - 1) in
+  let s = Dot.of_tree g ~parent in
+  check "tree edge solid" true (contains s "n0 -- n1 [style=solid]");
+  check "non-tree edge dashed" true (contains s "n0 -- n3 [style=dashed]")
+
+(* ------------------------------------------------------------------ *)
+(* Properties (qcheck)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_graph_of_seed seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 10 in
+  Builders.random_connected rng ~n ~extra_edges:(Rng.int rng 6)
+
+let floyd_warshall g =
+  let n = Graph.n g in
+  let inf = max_int / 4 in
+  let d = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  List.iter
+    (fun (u, v) ->
+      d.(u).(v) <- 1;
+      d.(v).(u) <- 1)
+    (Graph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then
+          d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  d
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:100 ~name:"BFS distances agree with Floyd-Warshall"
+      small_int
+      (fun seed ->
+        let g = random_graph_of_seed seed in
+        let fw = floyd_warshall g in
+        let ok = ref true in
+        Graph.iter_nodes g (fun src ->
+            let bfs = Properties.bfs_distances g src in
+            Graph.iter_nodes g (fun dst ->
+                if bfs.(dst) <> fw.(src).(dst) then ok := false));
+        !ok);
+    Test.make ~count:100 ~name:"diameter is max pairwise distance" small_int
+      (fun seed ->
+        let g = random_graph_of_seed seed in
+        let fw = floyd_warshall g in
+        let best = ref 0 in
+        Graph.iter_nodes g (fun u ->
+            Graph.iter_nodes g (fun v -> best := max !best fw.(u).(v)));
+        Properties.diameter g = !best);
+    Test.make ~count:100 ~name:"ports are mutually consistent" small_int
+      (fun seed ->
+        let g = random_graph_of_seed seed in
+        List.for_all
+          (fun (u, v) ->
+            (Graph.neighbors g u).(Graph.port_of g u v) = v
+            && (Graph.neighbors g v).(Graph.port_of g v u) = u)
+          (Graph.edges g));
+    Test.make ~count:50 ~name:"Gk fig1 indices differ by <=1 across edges"
+      (int_range 1 6)
+      (fun k ->
+        let g = Gk.make k in
+        List.for_all
+          (fun (u, v) ->
+            abs (Gk.fig1_index ~k u - Gk.fig1_index ~k v) <= 1
+            (* a-nodes sit one below their neighbors; all others differ
+               by at most 1 as distances do. *)
+            || abs (Gk.fig1_index ~k u - Gk.fig1_index ~k v) = 2)
+          (Graph.edges g));
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "of_edges" `Quick test_of_edges_basic;
+          Alcotest.test_case "of_edges rejects" `Quick test_of_edges_rejects;
+          Alcotest.test_case "symmetry check" `Quick test_of_adjacency_symmetry;
+          Alcotest.test_case "port_of" `Quick test_port_of;
+          Alcotest.test_case "edges listing" `Quick test_edges_listing;
+          Alcotest.test_case "fold / max degree" `Quick test_fold_and_max_degree;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "odd cycle" `Quick test_cycle_odd;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "lollipop" `Quick test_lollipop;
+          Alcotest.test_case "wheel" `Quick test_wheel;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "disconnected" `Quick test_distance_disconnected;
+          Alcotest.test_case "radius" `Quick test_radius;
+          Alcotest.test_case "all pairs" `Quick test_all_pairs;
+        ] );
+      ( "gk",
+        [
+          Alcotest.test_case "structure" `Quick test_gk_structure;
+          Alcotest.test_case "roles" `Quick test_gk_roles;
+          Alcotest.test_case "bottom path" `Quick test_gk_bottom_path;
+          Alcotest.test_case "figure 1 indices" `Quick test_gk_fig1_indices;
+          Alcotest.test_case "rejects" `Quick test_gk_rejects;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "graph export" `Quick test_dot_graph;
+          Alcotest.test_case "tree export" `Quick test_dot_tree;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

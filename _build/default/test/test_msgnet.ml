@@ -1,0 +1,216 @@
+(* Tests for the message-passing realization of the transformer (§6):
+   convergence to verified quiescence with corrupted states AND
+   corrupted mirrors, traffic accounting, and the full-state vs delta
+   encoding comparison. *)
+
+module Builders = Ss_graph.Builders
+module Graph = Ss_graph.Graph
+module Sync_runner = Ss_sync.Sync_runner
+module Core = Ss_core
+module Transformer = Ss_core.Transformer
+module Checker = Ss_core.Checker
+module M = Ss_msgnet.Msgnet
+module Leader = Ss_algos.Leader_election
+module Min_flood = Ss_algos.Min_flood
+module Rng = Ss_prelude.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let setting seed =
+  let rng = Rng.create seed in
+  let g =
+    Builders.random_connected rng ~n:(4 + Rng.int rng 8) ~extra_edges:3
+  in
+  let inputs = Leader.random_ids rng g in
+  let params = Transformer.params Leader.algo in
+  let hist = Sync_runner.run Leader.algo g ~inputs in
+  let start =
+    Transformer.corrupt rng
+      ~max_height:(hist.Sync_runner.t + 4)
+      params
+      (Transformer.clean_config params g ~inputs)
+  in
+  (rng, g, inputs, params, hist, start)
+
+let test_clean_start_full_encoding () =
+  let g = Builders.cycle 6 in
+  let inputs p = p + 3 in
+  let params = Transformer.params Min_flood.algo in
+  let hist = Sync_runner.run Min_flood.algo g ~inputs in
+  let rng = Rng.create 1 in
+  let final, stats =
+    M.run ~encoding:M.Full_state ~rng ~corrupt_mirrors:false params
+      (Transformer.clean_config params g ~inputs)
+  in
+  check "quiescent" true stats.M.quiescent;
+  check "legitimate" true
+    (Checker.legitimate_terminal params hist final = Ok ());
+  (* Accurate mirrors + full-state updates: proofs never mismatch. *)
+  check_int "no repair requests" 0 stats.M.request_messages;
+  check_int "no full copies" 0 stats.M.full_copy_messages;
+  (* On a ring every node has degree 2: each execution broadcasts 2
+     updates. *)
+  check_int "updates = 2 * executions" (2 * stats.M.rule_executions)
+    stats.M.update_messages
+
+let test_corrupted_mirrors_are_repaired () =
+  let _, g, inputs, params, hist, start = setting 5 in
+  ignore g;
+  ignore inputs;
+  let rng = Rng.create 50 in
+  let final, stats = M.run ~encoding:M.Delta ~rng params start in
+  check "quiescent" true stats.M.quiescent;
+  check "legitimate" true
+    (Checker.legitimate_terminal params hist final = Ok ());
+  check "at least one proof wave ran" true (stats.M.proof_waves >= 1)
+
+let test_convergence_matrix () =
+  for seed = 1 to 12 do
+    let _, g, inputs, params, hist, start = setting seed in
+    List.iter
+      (fun encoding ->
+        let rng = Rng.create (seed + 100) in
+        let final, stats = M.run ~encoding ~rng params start in
+        check (Printf.sprintf "seed %d quiescent" seed) true stats.M.quiescent;
+        check
+          (Printf.sprintf "seed %d legitimate" seed)
+          true
+          (Checker.legitimate_terminal params hist final = Ok ());
+        check
+          (Printf.sprintf "seed %d spec" seed)
+          true
+          (Leader.spec_holds g ~inputs ~final:(Transformer.outputs final)))
+      [ M.Full_state; M.Delta ]
+  done
+
+let test_delta_encoding_is_cheaper_per_update () =
+  (* Same seed, both encodings: delta must spend fewer bits per update
+     message on average. *)
+  let _, _, _, params, _, start = setting 9 in
+  let run encoding =
+    let rng = Rng.create 77 in
+    let _, stats = M.run ~encoding ~rng params start in
+    stats
+  in
+  let full = run M.Full_state and delta = run M.Delta in
+  let per_update s =
+    float_of_int s.M.update_bits /. float_of_int (max 1 s.M.update_messages)
+  in
+  check "delta cheaper per update" true (per_update delta < per_update full)
+
+let test_stats_consistency () =
+  let _, _, _, params, _, start = setting 3 in
+  let rng = Rng.create 42 in
+  let _, stats = M.run ~rng params start in
+  check "deliveries cover updates + proofs" true
+    (stats.M.deliveries
+    >= stats.M.update_messages + stats.M.request_messages
+       + stats.M.full_copy_messages);
+  check "total bits positive" true (M.total_bits stats > 0);
+  check "full copies answer requests" true
+    (stats.M.full_copy_messages <= stats.M.request_messages);
+  check "proof bits = 128 * proof messages" true
+    (stats.M.proof_bits = 128 * stats.M.proof_messages)
+
+let test_heartbeat_period_controls_proof_traffic () =
+  let _, _, _, params, _, start = setting 4 in
+  let run every =
+    let rng = Rng.create 11 in
+    let _, stats = M.run ~heartbeat_every:every ~rng params start in
+    stats
+  in
+  let fast = run 50 and slow = run 5000 in
+  check "faster heartbeat, at least as many proofs" true
+    (fast.M.proof_messages >= slow.M.proof_messages);
+  check "both quiescent" true (fast.M.quiescent && slow.M.quiescent)
+
+let test_event_budget_reported () =
+  let _, _, _, params, _, start = setting 6 in
+  let rng = Rng.create 13 in
+  let _, stats = M.run ~max_events:3 ~rng params start in
+  check "budget exhaustion reported" false stats.M.quiescent
+
+let test_bfs_over_message_passing () =
+  (* The protocol is algorithm-generic: BFS trees converge too. *)
+  let rng = Rng.create 19 in
+  let g = Builders.random_connected rng ~n:10 ~extra_edges:4 in
+  let root = 0 in
+  let inputs = Ss_algos.Bfs_tree.inputs g ~root in
+  let params = Transformer.params Ss_algos.Bfs_tree.algo in
+  let hist = Sync_runner.run Ss_algos.Bfs_tree.algo g ~inputs in
+  let start =
+    Transformer.corrupt rng
+      ~max_height:(hist.Sync_runner.t + 4)
+      params
+      (Transformer.clean_config params g ~inputs)
+  in
+  let final, stats = M.run ~rng params start in
+  check "quiescent" true stats.M.quiescent;
+  check "legitimate" true (Checker.legitimate_terminal params hist final = Ok ());
+  check "BFS spec" true
+    (Ss_algos.Bfs_tree.spec_holds g ~root
+       ~final:(Transformer.outputs final))
+
+let test_greedy_cv_over_message_passing () =
+  let rng = Rng.create 23 in
+  let n = 9 and width = 6 in
+  let g = Builders.cycle n in
+  let ids = Ss_algos.Cole_vishkin.random_ring_ids rng ~n ~width in
+  let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width g in
+  let b = Ss_algos.Cole_vishkin.schedule_length width in
+  let params =
+    Transformer.params ~mode:Ss_core.Predicates.Greedy
+      ~bound:(Ss_core.Predicates.Finite b)
+      Ss_algos.Cole_vishkin.algo
+  in
+  let hist = Sync_runner.run Ss_algos.Cole_vishkin.algo g ~inputs in
+  let start =
+    Transformer.corrupt rng ~max_height:b params
+      (Transformer.clean_config params g ~inputs)
+  in
+  let final, stats = M.run ~encoding:M.Delta ~rng params start in
+  check "quiescent" true stats.M.quiescent;
+  check "legitimate" true (Checker.legitimate_terminal params hist final = Ok ());
+  check "proper 3-coloring" true
+    (Ss_algos.Cole_vishkin.spec_holds g ~final:(Transformer.outputs final))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:40
+      ~name:"message-passing realization reaches a legitimate terminal state"
+      (int_range 1 100_000)
+      (fun seed ->
+        let _, g, inputs, params, hist, start = setting seed in
+        let rng = Rng.create (seed * 13) in
+        let encoding = if seed mod 2 = 0 then M.Full_state else M.Delta in
+        let final, stats = M.run ~encoding ~rng params start in
+        stats.M.quiescent
+        && Checker.legitimate_terminal params hist final = Ok ()
+        && Leader.spec_holds g ~inputs ~final:(Transformer.outputs final));
+  ]
+
+let () =
+  Alcotest.run "msgnet"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "clean start, full encoding" `Quick
+            test_clean_start_full_encoding;
+          Alcotest.test_case "corrupted mirrors repaired" `Quick
+            test_corrupted_mirrors_are_repaired;
+          Alcotest.test_case "convergence matrix" `Quick test_convergence_matrix;
+          Alcotest.test_case "delta cheaper per update" `Quick
+            test_delta_encoding_is_cheaper_per_update;
+          Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+          Alcotest.test_case "heartbeat period" `Quick
+            test_heartbeat_period_controls_proof_traffic;
+          Alcotest.test_case "event budget" `Quick test_event_budget_reported;
+          Alcotest.test_case "BFS over message passing" `Quick
+            test_bfs_over_message_passing;
+          Alcotest.test_case "greedy CV over message passing" `Quick
+            test_greedy_cv_over_message_passing;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

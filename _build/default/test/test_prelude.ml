@@ -1,0 +1,285 @@
+(* Tests for Ss_prelude: the deterministic RNG, numeric helpers and the
+   table renderer. *)
+
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module Table = Ss_prelude.Table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let da = List.init 32 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 32 (fun _ -> Rng.int b 1_000_000) in
+  check "different seeds differ" true (da <> db)
+
+let test_copy_independent () =
+  let a = Rng.create 5 in
+  let _ = Rng.int a 10 in
+  let b = Rng.copy a in
+  let xa = Rng.int a 1000 and xb = Rng.int b 1000 in
+  check_int "copy continues the stream" xa xb;
+  (* Advancing the copy does not affect the original. *)
+  let _ = Rng.int b 1000 in
+  let a2 = Rng.copy a in
+  check_int "original unaffected" (Rng.int a 1000) (Rng.int a2 1000)
+
+let test_split_differs () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let da = List.init 16 (fun _ -> Rng.int a 1_000_000) in
+  let db = List.init 16 (fun _ -> Rng.int b 1_000_000) in
+  check "split stream is distinct" true (da <> db)
+
+let test_int_bounds () =
+  let g = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 7 in
+    check "0 <= v < 7" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int g 0))
+
+let test_int_in () =
+  let g = Rng.create 18 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in g (-3) 3 in
+    check "in range" true (v >= -3 && v <= 3)
+  done;
+  check_int "degenerate range" 5 (Rng.int_in g 5 5);
+  Alcotest.check_raises "hi < lo rejected" (Invalid_argument "Rng.int_in: hi < lo")
+    (fun () -> ignore (Rng.int_in g 3 2))
+
+let test_int_covers_range () =
+  let g = Rng.create 19 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int g 5) <- true
+  done;
+  check "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_bool_mixes () =
+  let g = Rng.create 20 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool g then incr trues
+  done;
+  check "roughly balanced" true (!trues > 350 && !trues < 650)
+
+let test_float_range () =
+  let g = Rng.create 21 in
+  for _ = 1 to 500 do
+    let x = Rng.float g 2.5 in
+    check "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_chance_extremes () =
+  let g = Rng.create 22 in
+  check "p=1 always true" true (Rng.chance g 1.0);
+  check "p=0 always false" false (Rng.chance g 0.0)
+
+let test_pick () =
+  let g = Rng.create 23 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check "pick from array" true (Array.mem (Rng.pick g a) a)
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick g [||]));
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Rng.pick_list: empty list") (fun () ->
+      ignore (Rng.pick_list g []))
+
+let test_shuffle_permutes () =
+  let g = Rng.create 24 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_permutation () =
+  let g = Rng.create 25 in
+  let p = Rng.permutation g 10 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 10 Fun.id) sorted
+
+let test_subset () =
+  let g = Rng.create 26 in
+  let l = [ 1; 2; 3; 4; 5 ] in
+  check "p=1 keeps all" true (Rng.subset g ~p:1.0 l = l);
+  check "p=0 drops all" true (Rng.subset g ~p:0.0 l = []);
+  let s = Rng.subset g ~p:0.5 l in
+  check "subset preserves order" true
+    (List.for_all (fun x -> List.mem x l) s && List.sort compare s = s)
+
+let test_nonempty_subset () =
+  let g = Rng.create 27 in
+  for _ = 1 to 200 do
+    let s = Rng.nonempty_subset g ~p:0.01 [ 1; 2; 3 ] in
+    check "never empty" true (s <> [])
+  done;
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Rng.nonempty_subset: empty list") (fun () ->
+      ignore (Rng.nonempty_subset g ~p:0.5 []))
+
+(* ------------------------------------------------------------------ *)
+(* Util                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ceil_log2 () =
+  List.iter
+    (fun (n, expect) -> check_int (Printf.sprintf "ceil_log2 %d" n) expect (Util.ceil_log2 n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (1024, 10); (1025, 11) ];
+  Alcotest.check_raises "n=0 rejected" (Invalid_argument "Util.ceil_log2")
+    (fun () -> ignore (Util.ceil_log2 0))
+
+let test_bit_width () =
+  List.iter
+    (fun (n, expect) -> check_int (Printf.sprintf "bit_width %d" n) expect (Util.bit_width n))
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (255, 8); (256, 9) ]
+
+let test_log_star () =
+  List.iter
+    (fun (n, expect) -> check_int (Printf.sprintf "log* %d" n) expect (Util.log_star n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (16, 3); (17, 4); (65536, 4); (65537, 5) ]
+
+let test_list_helpers () =
+  check_int "sum" 10 (Util.sum [ 1; 2; 3; 4 ]);
+  check_int "sum empty" 0 (Util.sum []);
+  check_int "max_of" 9 (Util.max_of [ 3; 9; 1 ]);
+  check_int "min_of" 1 (Util.min_of [ 3; 9; 1 ]);
+  Alcotest.check_raises "max_of empty" (Invalid_argument "Util.max_of: empty list")
+    (fun () -> ignore (Util.max_of []));
+  check "range" true (Util.range 4 = [ 0; 1; 2; 3 ]);
+  check "range 0" true (Util.range 0 = [])
+
+let test_array_equal () =
+  check "equal" true (Util.array_equal Int.equal [| 1; 2 |] [| 1; 2 |]);
+  check "length mismatch" false (Util.array_equal Int.equal [| 1 |] [| 1; 2 |]);
+  check "content mismatch" false (Util.array_equal Int.equal [| 1; 3 |] [| 1; 2 |]);
+  check "empty" true (Util.array_equal Int.equal [||] [||])
+
+let test_fnv1a64 () =
+  check "deterministic" true (Util.fnv1a64 "abc" = Util.fnv1a64 "abc");
+  check "discriminates" true (Util.fnv1a64 "abc" <> Util.fnv1a64 "abd");
+  check "empty vs nonempty" true (Util.fnv1a64 "" <> Util.fnv1a64 "x")
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let render t =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Table.render ppf t;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_int_row t "beta" [ 42 ];
+  let s = render t in
+  check "has header" true
+    (String.length s > 0
+    && String.sub s 0 4 = "name");
+  check "has alpha row" true
+    (String.split_on_char '\n' s |> List.exists (fun l ->
+         String.length l >= 5 && String.sub l 0 5 = "alpha"));
+  check "rows in insertion order" true
+    (let lines = String.split_on_char '\n' s in
+     match lines with
+     | _header :: _rule :: r1 :: r2 :: _ ->
+         String.sub r1 0 5 = "alpha" && String.sub r2 0 4 = "beta"
+     | _ -> false)
+
+let test_table_ragged () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let s = render t in
+  check "short rows padded" true (String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"Rng.int is uniform in range"
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let g = Rng.create seed in
+        let v = Rng.int g bound in
+        v >= 0 && v < bound);
+    Test.make ~count:100 ~name:"permutation is bijective"
+      (pair small_int (int_range 0 50))
+      (fun (seed, n) ->
+        let g = Rng.create seed in
+        let p = Rng.permutation g n in
+        let seen = Array.make n false in
+        Array.iter (fun i -> seen.(i) <- true) p;
+        Array.for_all Fun.id seen);
+    Test.make ~count:300 ~name:"ceil_log2 is tight"
+      (int_range 1 (1 lsl 20))
+      (fun n ->
+        let k = Util.ceil_log2 n in
+        (1 lsl k) >= n && (k = 0 || 1 lsl (k - 1) < n));
+    Test.make ~count:300 ~name:"bit_width is tight"
+      (int_range 0 (1 lsl 20))
+      (fun n ->
+        let w = Util.bit_width n in
+        n < (1 lsl w) && (w = 1 || n >= 1 lsl (w - 1)));
+  ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_differs;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "bool mixes" `Quick test_bool_mixes;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "subset" `Quick test_subset;
+          Alcotest.test_case "nonempty subset" `Quick test_nonempty_subset;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+          Alcotest.test_case "bit_width" `Quick test_bit_width;
+          Alcotest.test_case "log_star" `Quick test_log_star;
+          Alcotest.test_case "list helpers" `Quick test_list_helpers;
+          Alcotest.test_case "array_equal" `Quick test_array_equal;
+          Alcotest.test_case "fnv1a64" `Quick test_fnv1a64;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
