@@ -70,9 +70,11 @@ let bench_sync_runner () =
   fun () ->
     ignore (Ss_sync.Sync_runner.run Ss_algos.Leader_election.algo g ~inputs)
 
-let bench_engine_step () =
-  let g = G.Builders.cycle 32 in
-  let rng = Rng.create 2 in
+(* A corrupted transformed-leader-election configuration on a ring of
+   [n] nodes: the standard workload for the engine benchmarks. *)
+let trans_ring ~n ~seed =
+  let g = G.Builders.cycle n in
+  let rng = Rng.create seed in
   let inputs = Ss_algos.Leader_election.random_ids rng g in
   let params = Core.Transformer.params Ss_algos.Leader_election.algo in
   let algo = Core.Transformer.algorithm params in
@@ -80,23 +82,32 @@ let bench_engine_step () =
     Core.Transformer.corrupt rng ~max_height:10 params
       (Core.Transformer.clean_config params g ~inputs)
   in
+  (params, algo, config)
+
+let bench_engine_step () =
+  let _, algo, config = trans_ring ~n:32 ~seed:2 in
   let enabled = Sim.Config.enabled_nodes algo config in
   fun () -> ignore (Sim.Engine.step algo config enabled)
 
-let bench_enabled_scan () =
-  let g = G.Builders.cycle 32 in
-  let rng = Rng.create 3 in
-  let inputs = Ss_algos.Leader_election.random_ids rng g in
-  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
-  let algo = Core.Transformer.algorithm params in
-  let config =
-    Core.Transformer.corrupt rng ~max_height:10 params
-      (Core.Transformer.clean_config params g ~inputs)
-  in
+(* Naive enabled scan: what the old engine paid twice per step — every
+   guard of every node, a fresh view array per node. *)
+let bench_enabled_scan_naive ~n () =
+  let _, algo, config = trans_ring ~n ~seed:3 in
   fun () -> ignore (Sim.Config.enabled_nodes algo config)
 
-let bench_full_recovery () =
-  let g = G.Builders.cycle 16 in
+(* Incremental enabled scan: what the dirty-set engine pays per step —
+   re-evaluate the closed neighborhood of the mover against reusable
+   view buffers, then query the maintained enabled set. *)
+let bench_enabled_scan_incr ~n () =
+  let _, algo, config = trans_ring ~n ~seed:3 in
+  let sched = Sim.Sched.create algo config in
+  let p = n / 2 in
+  fun () ->
+    Sim.Sched.update sched config ~moved:[ p ];
+    ignore (Sim.Sched.enabled sched)
+
+let recovery_start ~n =
+  let g = G.Builders.cycle n in
   let rng = Rng.create 4 in
   let inputs = Ss_algos.Leader_election.random_ids rng g in
   let params = Core.Transformer.params Ss_algos.Leader_election.algo in
@@ -104,7 +115,16 @@ let bench_full_recovery () =
     Core.Transformer.corrupt rng ~max_height:10 params
       (Core.Transformer.clean_config params g ~inputs)
   in
+  (params, start)
+
+let bench_full_recovery ~n () =
+  let params, start = recovery_start ~n in
   fun () -> ignore (Core.Transformer.run params Sim.Daemon.synchronous start)
+
+let bench_full_recovery_naive ~n () =
+  let params, start = recovery_start ~n in
+  fun () ->
+    ignore (Core.Transformer.run_naive params Sim.Daemon.synchronous start)
 
 let bench_rollback_scan () =
   let config = Ss_rollback.Blowup.initial_config ~k:4 in
@@ -116,25 +136,64 @@ let bench_rollback_scan () =
 
 let bench_gamma () = fun () -> ignore (Ss_rollback.Blowup.gamma 8)
 
+(* Machine-readable results (benchmark name -> ns/run), written next
+   to the printed tables so the perf trajectory is trackable across
+   PRs.  [None] estimates are emitted as JSON null. *)
+let emit_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, est) ->
+      let value =
+        match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null"
+      in
+      Printf.fprintf oc "  %S: %s%s\n" name value (if i = last then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d entries)\n%!" path (List.length rows)
+
 let micro_benchmarks () =
   let open Bechamel in
   print_endline "#### Micro-benchmarks (Bechamel) ####";
   print_newline ();
+  let scan_sizes = [ 32; 256; 1024 ] in
+  let scan_tests =
+    List.concat_map
+      (fun n ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "enabled-scan-naive/trans-ring%d" n)
+            (Staged.stage (bench_enabled_scan_naive ~n ()));
+          Test.make
+            ~name:(Printf.sprintf "enabled-scan-incr/trans-ring%d" n)
+            (Staged.stage (bench_enabled_scan_incr ~n ()));
+        ])
+      scan_sizes
+  in
   let tests =
     Test.make_grouped ~name:"fasst" ~fmt:"%s %s"
-      [
-        Test.make ~name:"sync-runner/leader-ring32"
-          (Staged.stage (bench_sync_runner ()));
-        Test.make ~name:"engine-step/trans-ring32"
-          (Staged.stage (bench_engine_step ()));
-        Test.make ~name:"enabled-scan/trans-ring32"
-          (Staged.stage (bench_enabled_scan ()));
-        Test.make ~name:"full-recovery/trans-ring16"
-          (Staged.stage (bench_full_recovery ()));
-        Test.make ~name:"rollback-scan/G4"
-          (Staged.stage (bench_rollback_scan ()));
-        Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
-      ]
+      ([
+         Test.make ~name:"sync-runner/leader-ring32"
+           (Staged.stage (bench_sync_runner ()));
+         Test.make ~name:"engine-step/trans-ring32"
+           (Staged.stage (bench_engine_step ()));
+       ]
+      @ scan_tests
+      @ [
+          Test.make ~name:"full-recovery/trans-ring16"
+            (Staged.stage (bench_full_recovery ~n:16 ()));
+          Test.make ~name:"full-recovery-naive/trans-ring16"
+            (Staged.stage (bench_full_recovery_naive ~n:16 ()));
+          Test.make ~name:"full-recovery/trans-ring64"
+            (Staged.stage (bench_full_recovery ~n:64 ()));
+          Test.make ~name:"full-recovery-naive/trans-ring64"
+            (Staged.stage (bench_full_recovery_naive ~n:64 ()));
+          Test.make ~name:"rollback-scan/G4"
+            (Staged.stage (bench_rollback_scan ()));
+          Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
+        ])
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -146,20 +205,31 @@ let micro_benchmarks () =
   in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let estimates =
+    List.map
+      (fun (name, r) ->
+        let est =
+          match Analyze.OLS.estimates r with
+          | Some (t :: _) -> Some t
+          | _ -> None
+        in
+        (name, est))
+      (List.sort compare rows)
+  in
   let table = Table.create [ "benchmark"; "ns/run" ] in
   List.iter
-    (fun (name, r) ->
-      let est =
-        match Analyze.OLS.estimates r with
-        | Some (t :: _) -> Printf.sprintf "%.0f" t
-        | _ -> "n/a"
+    (fun (name, est) ->
+      let cell =
+        match est with Some t -> Printf.sprintf "%.0f" t | None -> "n/a"
       in
-      Table.add_row table [ name; est ])
-    (List.sort compare rows);
-  Table.print table
+      Table.add_row table [ name; cell ])
+    estimates;
+  Table.print table;
+  emit_json "BENCH_engine.json" estimates
 
 let () =
   let t0 = Unix.gettimeofday () in
-  experiment_tables ();
+  let micro_only = Array.exists (fun a -> a = "--micro") Sys.argv in
+  if not micro_only then experiment_tables ();
   micro_benchmarks ();
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -89,12 +89,26 @@ val corrupt_state :
 
 val run :
   ?max_steps:int ->
+  ?self_check:bool ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
   ('s, 'i) params ->
   Ss_sim.Daemon.t ->
   ('s Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Trans_state.t, 'i) Ss_sim.Engine.stats
-(** Convenience wrapper over {!Ss_sim.Engine.run}. *)
+(** Convenience wrapper over {!Ss_sim.Engine.run} (the incremental
+    dirty-set engine; [self_check] cross-validates it against a full
+    scan every step). *)
+
+val run_naive :
+  ?max_steps:int ->
+  ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
+  ('s, 'i) params ->
+  Ss_sim.Daemon.t ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Trans_state.t, 'i) Ss_sim.Engine.stats
+(** Convenience wrapper over {!Ss_sim.Engine.run_naive}, the
+    full-rescan reference engine (differential testing and
+    benchmarking). *)
 
 val outputs : ('s Trans_state.t, 'i) Ss_sim.Config.t -> 's array
 (** The simulated algorithm's outputs: each node's newest cell

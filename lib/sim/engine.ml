@@ -1,4 +1,5 @@
 exception Invalid_selection of string
+exception Divergence of string
 
 type ('s, 'i) stats = {
   final : ('s, 'i) Config.t;
@@ -13,7 +14,7 @@ type ('s, 'i) stats = {
 type ('s, 'i) observer =
   step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
 
-let validate_selection config enabled selected =
+let validate_with config ~is_enabled selected =
   if selected = [] then raise (Invalid_selection "daemon selected no node");
   let seen = Hashtbl.create 8 in
   List.iter
@@ -23,39 +24,118 @@ let validate_selection config enabled selected =
       if Hashtbl.mem seen p then
         raise (Invalid_selection (Printf.sprintf "node %d selected twice" p));
       Hashtbl.add seen p ();
-      if not (List.mem p enabled) then
+      if not (is_enabled p) then
         raise
           (Invalid_selection (Printf.sprintf "node %d selected but not enabled" p)))
     selected
 
-let step algo config selected =
-  let enabled = Config.enabled_nodes algo config in
-  validate_selection config enabled selected;
-  (* All moves read the pre-step configuration: compute every new state
-     before writing any. *)
+let validate_selection config enabled selected =
+  let members = Hashtbl.create (max 8 (List.length enabled)) in
+  List.iter (fun p -> Hashtbl.replace members p ()) enabled;
+  validate_with config ~is_enabled:(Hashtbl.mem members) selected
+
+(* Execute a validated selection.  [rule_of p] is the enabled rule the
+   selection was validated against; all moves read the pre-step
+   configuration: compute every new state before writing any.  Actions
+   get fresh views (Config.view), never the scheduler's reusable
+   buffers, so a returned state may safely retain view data. *)
+let apply config ~rule_of selected =
   let moves =
     List.map
       (fun p ->
-        let view = Config.view config p in
-        match Algorithm.enabled_rule algo view with
-        | Some rule -> (p, rule.Algorithm.rule_name, rule.Algorithm.action view)
-        | None -> assert false (* validated above *))
+        match rule_of p with
+        | Some rule ->
+            let view = Config.view config p in
+            (p, rule.Algorithm.rule_name, rule.Algorithm.action view)
+        | None -> assert false (* validated by the caller *))
       selected
   in
   let states = Array.copy config.Config.states in
   List.iter (fun (p, _, s) -> states.(p) <- s) moves;
   (Config.with_states config states, List.map (fun (p, r, _) -> (p, r)) moves)
 
+let step algo config selected =
+  let enabled = Config.enabled_nodes algo config in
+  validate_selection config enabled selected;
+  apply config
+    ~rule_of:(fun p -> Algorithm.enabled_rule algo (Config.view config p))
+    selected
+
 let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
 
-let run ?(max_steps = 10_000_000) ?(max_moves = max_int)
-    ?(observer = no_observer) algo daemon config =
-  let n = Config.n config in
+(* Shared per-run accounting: per-node and per-rule move counters and
+   the final stats record. *)
+let make_counters n =
   let moves_per_node = Array.make n 0 in
   let rule_counts = Hashtbl.create 8 in
-  let bump_rule r =
-    Hashtbl.replace rule_counts r (1 + Option.value ~default:0 (Hashtbl.find_opt rule_counts r))
+  let note_move (p, r) =
+    moves_per_node.(p) <- moves_per_node.(p) + 1;
+    Hashtbl.replace rule_counts r
+      (1 + Option.value ~default:0 (Hashtbl.find_opt rule_counts r))
   in
+  let finish algo tracker (final, steps, moves, terminated) =
+    {
+      final;
+      steps;
+      moves;
+      rounds = Rounds.completed tracker;
+      terminated;
+      moves_per_node;
+      moves_per_rule =
+        List.map
+          (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt rule_counts r)))
+          (Algorithm.rule_names algo);
+    }
+  in
+  (note_move, finish)
+
+let run ?(max_steps = 10_000_000) ?(max_moves = max_int) ?(self_check = false)
+    ?(observer = no_observer) algo daemon config =
+  let note_move, finish = make_counters (Config.n config) in
+  let sched = Sched.create algo config in
+  let cross_check config =
+    if self_check then begin
+      let incr = Sched.enabled sched in
+      let naive = Config.enabled_nodes algo config in
+      if incr <> naive then
+        raise
+          (Divergence
+             (Printf.sprintf
+                "incremental enabled set {%s} disagrees with full scan {%s}"
+                (String.concat "," (List.map string_of_int incr))
+                (String.concat "," (List.map string_of_int naive))))
+    end
+  in
+  cross_check config;
+  let rec loop config steps moves tracker =
+    if Sched.no_enabled sched then (config, steps, moves, true)
+    else if steps >= max_steps || moves >= max_moves then
+      (config, steps, moves, false)
+    else begin
+      let enabled = Sched.enabled sched in
+      let selected = daemon.Daemon.select ~step:steps ~enabled in
+      validate_with config ~is_enabled:(Sched.is_enabled sched) selected;
+      let config', moved =
+        apply config ~rule_of:(Sched.enabled_rule sched) selected
+      in
+      List.iter note_move moved;
+      let moved_nodes = List.map fst moved in
+      Sched.update sched config' ~moved:moved_nodes;
+      cross_check config';
+      Rounds.note_step_set tracker ~moved:moved_nodes
+        ~enabled_after:(Sched.enabled_set sched);
+      observer ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved
+        config';
+      loop config' (steps + 1) (moves + List.length moved) tracker
+    end
+  in
+  let tracker = Rounds.create_set ~enabled:(Sched.enabled_set sched) in
+  observer ~step:0 ~rounds:0 ~moved:[] config;
+  finish algo tracker (loop config 0 0 tracker)
+
+let run_naive ?(max_steps = 10_000_000) ?(max_moves = max_int)
+    ?(observer = no_observer) algo daemon config =
+  let note_move, finish = make_counters (Config.n config) in
   let rec loop config steps moves tracker =
     let enabled = Config.enabled_nodes algo config in
     if enabled = [] then (config, steps, moves, true)
@@ -64,11 +144,7 @@ let run ?(max_steps = 10_000_000) ?(max_moves = max_int)
     else begin
       let selected = daemon.Daemon.select ~step:steps ~enabled in
       let config', moved = step algo config selected in
-      List.iter
-        (fun (p, r) ->
-          moves_per_node.(p) <- moves_per_node.(p) + 1;
-          bump_rule r)
-        moved;
+      List.iter note_move moved;
       let enabled_after = Config.enabled_nodes algo config' in
       Rounds.note_step tracker ~moved:(List.map fst moved) ~enabled_after;
       observer ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved
@@ -78,21 +154,7 @@ let run ?(max_steps = 10_000_000) ?(max_moves = max_int)
   in
   let tracker = Rounds.create ~enabled:(Config.enabled_nodes algo config) in
   observer ~step:0 ~rounds:0 ~moved:[] config;
-  let final, steps, moves, terminated = loop config 0 0 tracker in
-  let moves_per_rule =
-    List.map
-      (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt rule_counts r)))
-      (Algorithm.rule_names algo)
-  in
-  {
-    final;
-    steps;
-    moves;
-    rounds = Rounds.completed tracker;
-    terminated;
-    moves_per_node;
-    moves_per_rule;
-  }
+  finish algo tracker (loop config 0 0 tracker)
 
 let run_synchronous ?max_steps algo config =
   run ?max_steps algo Daemon.synchronous config

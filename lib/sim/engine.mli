@@ -13,6 +13,11 @@ exception Invalid_selection of string
     enabled, or a duplicated node (scripted adversaries are validated
     this way). *)
 
+exception Divergence of string
+(** Raised by {!run} with [~self_check:true] when the incremental
+    enabled set disagrees with a full naive scan — the differential
+    hook for checking the dirty-set scheduler trace-for-trace. *)
+
 type ('s, 'i) stats = {
   final : ('s, 'i) Config.t;  (** Last configuration reached. *)
   steps : int;  (** Number of daemon steps executed. *)
@@ -33,6 +38,7 @@ type ('s, 'i) observer =
 val run :
   ?max_steps:int ->
   ?max_moves:int ->
+  ?self_check:bool ->
   ?observer:('s, 'i) observer ->
   ('s, 'i) Algorithm.t ->
   Daemon.t ->
@@ -41,7 +47,31 @@ val run :
 (** [run algo daemon config] executes until termination or budget
     exhaustion (defaults: [max_steps = 10_000_000], [max_moves]
     unlimited).  [stats.terminated] reports which happened.
+
+    The engine is {e incremental}: it maintains the enabled set with
+    a dirty-set scheduler ({!Sched}) that re-evaluates guards only
+    for nodes whose closed neighborhood changed, instead of scanning
+    all [n] nodes twice per step.  Observable behavior is identical
+    to {!run_naive} (same steps, moves, rounds, configurations) for
+    any algorithm whose guards are pure functions of the view — see
+    DESIGN.md §7.  [self_check] (default [false]) re-derives the
+    enabled set with a full scan after every step and raises
+    {!Divergence} on any mismatch; use it when developing new
+    algorithms or engine changes.
     @raise Invalid_selection on malformed daemon selections. *)
+
+val run_naive :
+  ?max_steps:int ->
+  ?max_moves:int ->
+  ?observer:('s, 'i) observer ->
+  ('s, 'i) Algorithm.t ->
+  Daemon.t ->
+  ('s, 'i) Config.t ->
+  ('s, 'i) stats
+(** Reference engine: recomputes the full enabled set from scratch
+    every step ([O(n·Δ)] guard evaluations per step).  Kept as the
+    compatibility baseline for differential testing and benchmarking;
+    produces exactly the same execution as {!run}. *)
 
 val step :
   ('s, 'i) Algorithm.t ->

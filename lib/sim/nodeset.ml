@@ -1,0 +1,6 @@
+(* Sets of node identifiers, shared between the round tracker and the
+   incremental scheduler so enabled sets flow between them without
+   list conversions.  [elements] returns nodes in increasing order,
+   matching the order of {!Config.enabled_nodes}. *)
+
+include Set.Make (Int)

@@ -1,19 +1,25 @@
-module Int_set = Set.Make (Int)
+module Int_set = Nodeset
 
 type t = { mutable pending : Int_set.t; mutable completed : int }
 
-let create ~enabled = { pending = Int_set.of_list enabled; completed = 0 }
+let create_set ~enabled = { pending = enabled; completed = 0 }
+let create ~enabled = create_set ~enabled:(Int_set.of_list enabled)
 
-let note_step t ~moved ~enabled_after =
+let note_step_set t ~moved ~enabled_after =
   if not (Int_set.is_empty t.pending) then begin
-    let enabled_set = Int_set.of_list enabled_after in
-    let discharged p = List.mem p moved || not (Int_set.mem p enabled_set) in
+    let moved_set = Int_set.of_list moved in
+    let discharged p =
+      Int_set.mem p moved_set || not (Int_set.mem p enabled_after)
+    in
     t.pending <- Int_set.filter (fun p -> not (discharged p)) t.pending;
     if Int_set.is_empty t.pending then begin
       t.completed <- t.completed + 1;
-      t.pending <- enabled_set
+      t.pending <- enabled_after
     end
   end
+
+let note_step t ~moved ~enabled_after =
+  note_step_set t ~moved ~enabled_after:(Int_set.of_list enabled_after)
 
 let completed t = t.completed
 let pending t = Int_set.elements t.pending

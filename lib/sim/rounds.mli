@@ -15,11 +15,19 @@ val create : enabled:int list -> t
     the initial configuration.  If [enabled] is empty, the execution
     is already terminal and the round count stays [0]. *)
 
+val create_set : enabled:Nodeset.t -> t
+(** As {!create}, taking the enabled set directly (the incremental
+    engine feeds the tracker from {!Sched.enabled_set}). *)
+
 val note_step : t -> moved:int list -> enabled_after:int list -> unit
 (** [note_step t ~moved ~enabled_after] accounts for one step: nodes
     that moved, or that are no longer enabled afterwards, are
     discharged.  When every node of the current round is discharged
     the round completes and the next one opens with [enabled_after]. *)
+
+val note_step_set : t -> moved:int list -> enabled_after:Nodeset.t -> unit
+(** As {!note_step} with the post-step enabled set passed as a set,
+    avoiding a per-step list-to-set conversion. *)
 
 val completed : t -> int
 (** Number of completed rounds so far. *)

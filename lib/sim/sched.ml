@@ -1,0 +1,101 @@
+module Graph = Ss_graph.Graph
+
+type ('s, 'i) t = {
+  algo : ('s, 'i) Algorithm.t;
+  graph : Graph.t;
+  inputs : 'i array;
+  bufs : 's array array;
+      (* Per-node reusable neighbor-state buffers: guard evaluation
+         refills [bufs.(p)] in place instead of allocating a fresh
+         array per view (cf. Config.view). *)
+  rules : ('s, 'i) Algorithm.rule option array;
+      (* Highest-priority enabled rule of each node, [None] when the
+         node is disabled.  This is the scheduler's ground truth. *)
+  mutable enabled_set : Nodeset.t;
+  mutable elements_cache : int list option;
+      (* Memoized [Nodeset.elements enabled_set]; invalidated whenever
+         membership changes, so steady states cost nothing to query. *)
+  stamp : int array;
+  mutable epoch : int;
+      (* Visit stamps: a node whose stamp equals the current epoch has
+         already been re-evaluated this update (dirty sets of adjacent
+         movers overlap). *)
+  mutable evals : int;
+}
+
+let eval t states p =
+  let nbrs = Graph.neighbors t.graph p in
+  let buf = t.bufs.(p) in
+  for i = 0 to Array.length nbrs - 1 do
+    buf.(i) <- states.(nbrs.(i))
+  done;
+  t.evals <- t.evals + 1;
+  Algorithm.enabled_rule t.algo
+    { Algorithm.input = t.inputs.(p); self = states.(p); neighbors = buf }
+
+let refresh t states p =
+  let now = eval t states p in
+  (match (t.rules.(p), now) with
+  | None, Some _ ->
+      t.enabled_set <- Nodeset.add p t.enabled_set;
+      t.elements_cache <- None
+  | Some _, None ->
+      t.enabled_set <- Nodeset.remove p t.enabled_set;
+      t.elements_cache <- None
+  | None, None | Some _, Some _ -> ());
+  t.rules.(p) <- now
+
+let create algo (config : ('s, 'i) Config.t) =
+  let graph = config.Config.graph in
+  let n = Graph.n graph in
+  let states = config.Config.states in
+  let t =
+    {
+      algo;
+      graph;
+      inputs = config.Config.inputs;
+      bufs =
+        Array.init n (fun p -> Array.make (Graph.degree graph p) states.(p));
+      rules = Array.make n None;
+      enabled_set = Nodeset.empty;
+      elements_cache = None;
+      stamp = Array.make n (-1);
+      epoch = 0;
+      evals = 0;
+    }
+  in
+  for p = 0 to n - 1 do
+    refresh t states p
+  done;
+  t
+
+let update t (config : ('s, 'i) Config.t) ~moved =
+  if config.Config.graph != t.graph then
+    invalid_arg "Sched.update: configuration belongs to another topology";
+  let states = config.Config.states in
+  t.epoch <- t.epoch + 1;
+  let touch p =
+    if t.stamp.(p) <> t.epoch then begin
+      t.stamp.(p) <- t.epoch;
+      refresh t states p
+    end
+  in
+  List.iter
+    (fun p ->
+      touch p;
+      Array.iter touch (Graph.neighbors t.graph p))
+    moved
+
+let enabled t =
+  match t.elements_cache with
+  | Some l -> l
+  | None ->
+      let l = Nodeset.elements t.enabled_set in
+      t.elements_cache <- Some l;
+      l
+
+let enabled_set t = t.enabled_set
+let no_enabled t = Nodeset.is_empty t.enabled_set
+let is_enabled t p = Option.is_some t.rules.(p)
+let enabled_rule t p = t.rules.(p)
+let evals t = t.evals

@@ -1,0 +1,58 @@
+(** Incremental enabled-set scheduler (the dirty-set engine core).
+
+    A node's enabled status is a function of its {e closed
+    neighborhood} only: its input, its own state and its neighbors'
+    states — exactly the {!Algorithm.view} its guards read.  Hence a
+    step that changes the states of a set [M] of nodes can change the
+    enabled status only of [M] and of the graph neighbors of [M] (the
+    {e dirty set}).  This module maintains the enabled set across
+    steps by re-evaluating guards for dirty nodes alone, instead of
+    the [O(n·Δ)] full scan {!Config.enabled_nodes} performs.
+
+    Guard evaluations reuse a per-node neighbor-state buffer, so the
+    steady-state cost of a step that moved [m] nodes is
+    [O(Σ_{p ∈ dirty} (1 + deg p))] guard evaluations and no per-view
+    array allocation.  Guards must therefore be pure and must not
+    retain the [neighbors] array of the view they are given beyond
+    the call — every algorithm in the atomic-state model satisfies
+    this (actions, which may retain data, are never handed buffered
+    views; see {!Engine}). *)
+
+type ('s, 'i) t
+
+val create : ('s, 'i) Algorithm.t -> ('s, 'i) Config.t -> ('s, 'i) t
+(** [create algo config] evaluates every node once ([n] guard
+    evaluations) and snapshots the topology.  All later configurations
+    passed to {!update} must carry the same graph (physically). *)
+
+val update : ('s, 'i) t -> ('s, 'i) Config.t -> moved:int list -> unit
+(** [update t config ~moved] accounts for one atomic step that changed
+    exactly the states of [moved], re-evaluating the closed
+    neighborhood of [moved] against [config] (the {e post-step}
+    configuration).  Overlapping neighborhoods are deduplicated.
+    @raise Invalid_argument if [config]'s graph is not the one
+    [create] saw. *)
+
+val enabled : ('s, 'i) t -> int list
+(** Currently enabled nodes in increasing order (same order as
+    {!Config.enabled_nodes}).  Memoized between membership changes;
+    do not mutate the returned list's cons cells. *)
+
+val enabled_set : ('s, 'i) t -> Nodeset.t
+(** The enabled set itself, for set-based consumers
+    ({!Rounds.note_step_set}). *)
+
+val no_enabled : ('s, 'i) t -> bool
+(** Whether the configuration is terminal ([O(1)]). *)
+
+val is_enabled : ('s, 'i) t -> int -> bool
+(** [is_enabled t p] in [O(1)]. *)
+
+val enabled_rule : ('s, 'i) t -> int -> ('s, 'i) Algorithm.rule option
+(** The cached highest-priority enabled rule of [p], if any — valid
+    for the configuration last seen by {!create}/{!update}. *)
+
+val evals : ('s, 'i) t -> int
+(** Total guard-evaluation count since [create] (telemetry: the
+    incremental engine's work measure, compared against [n] per step
+    for the naive engine). *)

@@ -9,13 +9,12 @@ type ('s, 'i) history = {
 
 exception Did_not_terminate of string
 
-let sync_step algo inputs g states =
-  Array.mapi
-    (fun p self ->
-      let neighbors = Array.map (fun q -> states.(q)) (Graph.neighbors g p) in
-      algo.Sync_algo.step inputs.(p) self neighbors)
-    states
-
+(* The fixpoint iteration is dirty-set incremental: [step] reads only
+   the closed neighborhood, so a node can change in a round only if a
+   node of its closed neighborhood changed in the previous round.
+   Recomputing exactly those nodes yields the same row sequence as
+   recomputing all of them (skipped nodes provably keep their state),
+   while convergence tails touch only the still-active region. *)
 let run ?max_rounds algo g ~inputs =
   let n = Graph.n g in
   let max_rounds =
@@ -23,18 +22,47 @@ let run ?max_rounds algo g ~inputs =
   in
   let inputs = Array.init n inputs in
   let row0 = Array.init n (fun p -> algo.Sync_algo.init inputs.(p)) in
-  let rec go rows current round =
+  let stamp = Array.make n (-1) in
+  let dirty_of changed ~epoch =
+    let acc = ref [] in
+    let touch p =
+      if stamp.(p) <> epoch then begin
+        stamp.(p) <- epoch;
+        acc := p :: !acc
+      end
+    in
+    List.iter
+      (fun p ->
+        touch p;
+        Array.iter touch (Graph.neighbors g p))
+      changed;
+    !acc
+  in
+  let rec go rows current dirty round =
     if round > max_rounds then
       raise
         (Did_not_terminate
            (Printf.sprintf "%s did not reach a fixpoint within %d rounds"
               algo.Sync_algo.sync_name max_rounds));
-    let next = sync_step algo inputs g current in
-    if Ss_prelude.Util.array_equal algo.Sync_algo.equal current next then
-      (List.rev rows, round)
-    else go (next :: rows) next (round + 1)
+    let next = Array.copy current in
+    let changed = ref [] in
+    List.iter
+      (fun p ->
+        let neighbors =
+          Array.map (fun q -> current.(q)) (Graph.neighbors g p)
+        in
+        let s' = algo.Sync_algo.step inputs.(p) current.(p) neighbors in
+        if not (algo.Sync_algo.equal current.(p) s') then begin
+          next.(p) <- s';
+          changed := p :: !changed
+        end)
+      dirty;
+    match !changed with
+    | [] -> (List.rev rows, round)
+    | changed ->
+        go (next :: rows) next (dirty_of changed ~epoch:round) (round + 1)
   in
-  let rows, t = go [ row0 ] row0 0 in
+  let rows, t = go [ row0 ] row0 (List.init n Fun.id) 0 in
   { graph = g; inputs; states_by_round = Array.of_list rows; t }
 
 let state_at h ~round ~node =

@@ -1,0 +1,204 @@
+(* Differential tests: the incremental dirty-set engine (Engine.run)
+   must produce exactly the same executions as the naive full-rescan
+   engine (Engine.run_naive) — same steps, moves, rounds, per-node and
+   per-rule counters, and final configuration — across every daemon,
+   several topologies, several algorithms and several corruption
+   seeds.  Stateful daemons (rngs, cursors) are rebuilt from the same
+   seed for each engine so both runs face an identical adversary. *)
+
+module Graph = Ss_graph.Graph
+module Builders = Ss_graph.Builders
+module Algorithm = Ss_sim.Algorithm
+module Config = Ss_sim.Config
+module Daemon = Ss_sim.Daemon
+module Engine = Ss_sim.Engine
+module Sched = Ss_sim.Sched
+module Rng = Ss_prelude.Rng
+module Transformer = Ss_core.Transformer
+module Rollback = Ss_rollback.Rollback
+module Blowup = Ss_rollback.Blowup
+module Leader = Ss_algos.Leader_election
+module Min_flood = Ss_algos.Min_flood
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every daemon of lib/sim/daemon.ml, as factories so each engine run
+   gets a fresh (identically seeded) instance. *)
+let daemon_factories seed =
+  [
+    ("synchronous", fun () -> Daemon.synchronous);
+    ("central-random", fun () -> Daemon.central_random (Rng.create seed));
+    ("central-min", fun () -> Daemon.central_min);
+    ("central-max", fun () -> Daemon.central_max);
+    ( "distributed-random",
+      fun () -> Daemon.distributed_random (Rng.create seed) ~p:0.5 );
+    ("round-robin", fun () -> Daemon.round_robin ());
+    ("scripted", fun () -> Daemon.scripted ~fallback:Daemon.synchronous []);
+  ]
+
+let assert_equiv ~msg eq_state (a : _ Engine.stats) (b : _ Engine.stats) =
+  check_int (msg ^ ": steps") a.Engine.steps b.Engine.steps;
+  check_int (msg ^ ": moves") a.Engine.moves b.Engine.moves;
+  check_int (msg ^ ": rounds") a.Engine.rounds b.Engine.rounds;
+  check (msg ^ ": terminated") a.Engine.terminated b.Engine.terminated;
+  Alcotest.(check (array int))
+    (msg ^ ": moves per node")
+    a.Engine.moves_per_node b.Engine.moves_per_node;
+  Alcotest.(check (list (pair string int)))
+    (msg ^ ": moves per rule")
+    a.Engine.moves_per_rule b.Engine.moves_per_rule;
+  check (msg ^ ": final config") true
+    (Config.equal eq_state a.Engine.final b.Engine.final)
+
+let max_algo : (int, unit) Algorithm.t =
+  {
+    Algorithm.algo_name = "max";
+    equal = Int.equal;
+    rules =
+      [
+        {
+          Algorithm.rule_name = "UP";
+          guard =
+            (fun v ->
+              Array.exists (fun s -> s > v.Algorithm.self) v.Algorithm.neighbors);
+          action =
+            (fun v -> Array.fold_left max v.Algorithm.self v.Algorithm.neighbors);
+        };
+      ];
+    pp_state = Format.pp_print_int;
+  }
+
+let seeds = [ 1; 2; 3 ]
+
+let graphs rng =
+  [
+    ("cycle9", Builders.cycle 9);
+    ("grid3x4", Builders.grid ~rows:3 ~cols:4);
+    ("star7", Builders.star 7);
+    ("random12", Builders.random_connected rng ~n:12 ~extra_edges:6);
+  ]
+
+let test_max_algo () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (100 + seed) in
+      List.iter
+        (fun (gname, g) ->
+          let states = Array.init (Graph.n g) (fun _ -> Rng.int rng 50) in
+          let config =
+            Config.make g ~inputs:(fun _ -> ()) ~states:(fun p -> states.(p))
+          in
+          List.iter
+            (fun (dname, mk) ->
+              let incr = Engine.run max_algo (mk ()) config in
+              let naive = Engine.run_naive max_algo (mk ()) config in
+              assert_equiv
+                ~msg:(Printf.sprintf "max/%s/%s/seed%d" gname dname seed)
+                Int.equal incr naive)
+            (daemon_factories seed))
+        (graphs rng))
+    seeds
+
+let transformer_start seed =
+  let rng = Rng.create seed in
+  let g = Builders.cycle 8 in
+  let inputs = Leader.random_ids rng g in
+  let params = Transformer.params Leader.algo in
+  let start =
+    Transformer.corrupt rng ~max_height:8 params
+      (Transformer.clean_config params g ~inputs)
+  in
+  (params, start)
+
+let test_transformer () =
+  List.iter
+    (fun seed ->
+      let params, start = transformer_start seed in
+      let eq = Ss_core.Trans_state.equal Leader.algo.Ss_sync.Sync_algo.equal in
+      List.iter
+        (fun (dname, mk) ->
+          let incr = Transformer.run ~max_steps:200_000 params (mk ()) start in
+          let naive =
+            Transformer.run_naive ~max_steps:200_000 params (mk ()) start
+          in
+          assert_equiv
+            ~msg:(Printf.sprintf "trans/%s/seed%d" dname seed)
+            eq incr naive)
+        (daemon_factories seed))
+    seeds
+
+(* The rollback Γ_k adversary drives a scripted central daemon through
+   an exponential-move schedule: a good stress of the dirty set under
+   single-node steps on a non-trivial state type. *)
+let test_rollback_gamma () =
+  let k = 2 in
+  let algo = Rollback.algorithm Min_flood.algo ~bound:(Blowup.bound_for k) in
+  let config = Blowup.initial_config ~k in
+  let mk () =
+    Daemon.scripted ~fallback:Daemon.synchronous
+      (List.map (fun p -> [ p ]) (Blowup.gamma k))
+  in
+  let incr = Engine.run algo (mk ()) config in
+  let naive = Engine.run_naive algo (mk ()) config in
+  assert_equiv ~msg:"rollback/gamma2"
+    (Rollback.equal Min_flood.algo.Ss_sync.Sync_algo.equal)
+    incr naive
+
+(* The built-in differential hook: a full run with per-step
+   cross-validation of the incremental enabled set never diverges. *)
+let test_self_check () =
+  List.iter
+    (fun seed ->
+      let params, start = transformer_start seed in
+      let stats =
+        Transformer.run ~self_check:true params Daemon.synchronous start
+      in
+      check "terminated" true stats.Engine.terminated)
+    seeds
+
+(* Unit check of the dirty-set invariant: after a single-node change,
+   the scheduler re-evaluates only the closed neighborhood, and its
+   enabled set still matches a naive scan. *)
+let test_sched_locality () =
+  let g = Builders.cycle 64 in
+  let rng = Rng.create 11 in
+  let config =
+    Config.make g ~inputs:(fun _ -> ()) ~states:(fun _ -> Rng.int rng 50)
+  in
+  let sched = Sched.create max_algo config in
+  check_int "create evaluates every node once" 64 (Sched.evals sched);
+  let config = ref config in
+  for _ = 1 to 50 do
+    let p = Rng.int rng 64 in
+    let before = Sched.evals sched in
+    config := Config.set_state !config p (Rng.int rng 50);
+    Sched.update sched !config ~moved:[ p ];
+    check_int "only the closed neighborhood is re-evaluated" 3
+      (Sched.evals sched - before);
+    Alcotest.(check (list int))
+      "incremental enabled set matches full scan"
+      (Config.enabled_nodes max_algo !config)
+      (Sched.enabled sched)
+  done
+
+let () =
+  Alcotest.run "engine_equiv"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "max algo, all daemons/graphs/seeds" `Quick
+            test_max_algo;
+          Alcotest.test_case "transformer, all daemons/seeds" `Quick
+            test_transformer;
+          Alcotest.test_case "rollback gamma schedule" `Quick
+            test_rollback_gamma;
+        ] );
+      ( "self-check",
+        [
+          Alcotest.test_case "per-step cross-validation hook" `Quick
+            test_self_check;
+          Alcotest.test_case "sched dirty-set locality" `Quick
+            test_sched_locality;
+        ] );
+    ]
