@@ -126,6 +126,42 @@ let bench_full_recovery_naive ~n () =
   fun () ->
     ignore (Core.Transformer.run_naive params Sim.Daemon.synchronous start)
 
+(* Message-network end-to-end recovery: corrupted Cole-Vishkin ring
+   coloring (§5.3's ring instance — its finite bound keeps per-event
+   simulation work constant, so the event loop itself is what is
+   measured), indexed (Chanset) vs naive (the original per-event
+   Hashtbl.fold + List.nth channel selection) scheduling.  The
+   heartbeat runs at the tightest drain-safe period 2m + 2 — the §6
+   stress point where proof waves keep every channel busy — except on
+   large rings, where that period needs more events than the default
+   budget allows and the adaptive default (4m) is used instead.  A
+   fresh rng per run keeps every iteration on the identical event
+   schedule *within* a path. *)
+let bench_msgnet_recovery ~indexed ~n () =
+  let g = G.Builders.cycle n in
+  let rng = Rng.create 4 in
+  let width = 10 in
+  let ids = Ss_algos.Cole_vishkin.random_ring_ids rng ~n ~width in
+  let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width g in
+  let b = Ss_algos.Cole_vishkin.schedule_length width in
+  let params =
+    Core.Transformer.params ~mode:P.Greedy ~bound:(P.Finite b)
+      Ss_algos.Cole_vishkin.algo
+  in
+  let start =
+    Core.Transformer.corrupt rng ~max_height:b params
+      (Core.Transformer.clean_config params g ~inputs)
+  in
+  let tight = (2 * G.Graph.m g) + 2 in
+  let heartbeat_every = if tight >= 400 then 4 * G.Graph.m g else tight in
+  let run =
+    if indexed then Ss_msgnet.Msgnet.run else Ss_msgnet.Msgnet.run_naive
+  in
+  fun () ->
+    let rng = Rng.create 23 in
+    let _, stats = run ~heartbeat_every ~rng params start in
+    assert stats.Ss_msgnet.Msgnet.quiescent
+
 let bench_rollback_scan () =
   let config = Ss_rollback.Blowup.initial_config ~k:4 in
   let algo =
@@ -193,7 +229,18 @@ let micro_benchmarks () =
           Test.make ~name:"rollback-scan/G4"
             (Staged.stage (bench_rollback_scan ()));
           Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
-        ])
+        ]
+      @ List.concat_map
+          (fun n ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "msgnet-recovery-indexed/ring%d" n)
+                (Staged.stage (bench_msgnet_recovery ~indexed:true ~n ()));
+              Test.make
+                ~name:(Printf.sprintf "msgnet-recovery-naive/ring%d" n)
+                (Staged.stage (bench_msgnet_recovery ~indexed:false ~n ()));
+            ])
+          [ 16; 64; 256 ])
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -225,7 +272,17 @@ let micro_benchmarks () =
       Table.add_row table [ name; cell ])
     estimates;
   Table.print table;
-  emit_json "BENCH_engine.json" estimates
+  (* Message-network benches get their own file so the §6 perf
+     trajectory is trackable independently of the engine's. *)
+  let is_msgnet (name, _) =
+    let sub = "msgnet" in
+    let ln = String.length name and ls = String.length sub in
+    let rec at i = i + ls <= ln && (String.sub name i ls = sub || at (i + 1)) in
+    at 0
+  in
+  let msgnet, engine = List.partition is_msgnet estimates in
+  emit_json "BENCH_engine.json" engine;
+  emit_json "BENCH_msgnet.json" msgnet
 
 let () =
   let t0 = Unix.gettimeofday () in

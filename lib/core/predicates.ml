@@ -34,14 +34,31 @@ let algo_err params (v : ('s, 'i) view) =
      every neighbor q, i.e. i <= min_nb + 1 (beware overflow when the
      node has no neighbors). *)
   let top_checkable = if min_nb = max_int then h else min h (min_nb + 1) in
-  let rec bad i =
-    i <= top_checkable
-    && ((not
-           (params.sync.Sync_algo.equal (St.cell self i)
-              (algo_hat params v (i - 1))))
-       || bad (i + 1))
-  in
-  bad 1
+  if top_checkable < 1 then false
+  else begin
+    (* This guard is the hottest path of both engines; one scratch
+       dependency array refilled per cell replaces the fresh Array.map
+       that algo_hat would allocate for every checked cell ([step]
+       computes from the array and must not retain it). *)
+    let nbs = v.Algorithm.neighbors in
+    let deg = Array.length nbs in
+    let deps = Array.make deg (St.cell self 0) in
+    let rec bad i =
+      i <= top_checkable
+      && begin
+           for k = 0 to deg - 1 do
+             deps.(k) <- St.cell nbs.(k) (i - 1)
+           done;
+           (not
+              (params.sync.Sync_algo.equal (St.cell self i)
+                 (params.sync.Sync_algo.step v.Algorithm.input
+                    (St.cell self (i - 1))
+                    deps)))
+           || bad (i + 1)
+         end
+    in
+    bad 1
+  end
 
 let dep_err _params (v : ('s, 'i) view) =
   let self = v.Algorithm.self in

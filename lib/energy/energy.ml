@@ -21,6 +21,12 @@ let height_bits = function
   | Ss_core.Predicates.Finite b -> Util.bit_width b
   | Ss_core.Predicates.Infinite -> 32
 
+type proof_cost = { proof_bits : int; nonce_bits : int }
+
+let default_proof_cost = { proof_bits = 64; nonce_bits = 64 }
+let proof_message_bits pc = pc.proof_bits + pc.nonce_bits
+let request_message_bits = 2
+
 let state_proof ~nonce s =
   Int64.logxor (Util.fnv1a64 s) (Int64.mul nonce 0x9E3779B97F4A7C15L)
 
@@ -36,8 +42,8 @@ let delta_bits params st rule =
   else if rule = Transformer.rp then label + height_bits params.Transformer.bound
   else label (* RR and RC carry no payload *)
 
-let measure ?(proof_bits = 64) ?(nonce_bits = 64) ?(heartbeat_period = 16)
-    ?max_steps params daemon config =
+let measure ?(proof = default_proof_cost) ?(heartbeat_period = 16) ?max_steps
+    params daemon config =
   let g = config.Config.graph in
   let messages = ref 0 in
   let bits_full = ref 0 in
@@ -72,7 +78,7 @@ let measure ?(proof_bits = 64) ?(nonce_bits = 64) ?(heartbeat_period = 16)
       bits_full_state = !bits_full;
       bits_delta = !bits_delta;
       heartbeat_messages = !heartbeat_messages;
-      heartbeat_bits = !heartbeat_messages * (proof_bits + nonce_bits);
+      heartbeat_bits = !heartbeat_messages * proof_message_bits proof;
       rounds = stats.Engine.rounds;
       terminated = stats.Engine.terminated;
     }

@@ -38,6 +38,23 @@ val height_bits : Ss_core.Predicates.bound -> int
 (** Bits needed to transmit a height [<= B] ([log₂(B+1)], and 32 for
     an infinite bound — a practical word). *)
 
+type proof_cost = { proof_bits : int; nonce_bits : int }
+(** Wire cost of one proof message: hash bits plus wave-nonce bits.
+    The single source of truth shared by {!measure} (the analytical
+    §6 cost model) and [Ss_msgnet.Msgnet.run] (the executable
+    message-network realization), so the two entry points can never
+    drift apart on what a proof costs. *)
+
+val default_proof_cost : proof_cost
+(** [{ proof_bits = 64; nonce_bits = 64 }] — a 64-bit salted hash plus
+    a 64-bit wave nonce, 128 bits per proof message in total. *)
+
+val proof_message_bits : proof_cost -> int
+(** [proof_bits + nonce_bits]: total bits of one proof message. *)
+
+val request_message_bits : int
+(** Bits of a repair [Request] message (a bare 2-bit message tag). *)
+
 val state_proof : nonce:int64 -> string -> int64
 (** The §6 proof of a (serialized) state: a 64-bit hash of the state
     salted with the nonce.  Exposed so tests can check that proofs
@@ -55,8 +72,7 @@ val delta_bits :
     height for [RP] or the new cell for [RU]. *)
 
 val measure :
-  ?proof_bits:int ->
-  ?nonce_bits:int ->
+  ?proof:proof_cost ->
   ?heartbeat_period:int ->
   ?max_steps:int ->
   ('s, 'i) Ss_core.Transformer.params ->
@@ -64,5 +80,4 @@ val measure :
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Engine.stats * cost
 (** Run the transformer and account message costs (defaults:
-    [proof_bits = 64], [nonce_bits = 64], [heartbeat_period = 16]
-    rounds). *)
+    [proof = default_proof_cost], [heartbeat_period = 16] rounds). *)

@@ -8,11 +8,16 @@ module Leader = Ss_algos.Leader_election
 module Sync_runner = Ss_sync.Sync_runner
 
 let rows ?(seeds = [ 1; 2 ]) rng =
+  (* total-bits = update-bits + proof-bits + request-bits + repair-bits
+     (the shared Ss_energy.Energy accounting: proofs cost hash + nonce,
+     requests cost Energy.request_message_bits each).  "stale" counts
+     proofs from superseded waves dropped without comparison. *)
   let table =
     Table.create
       [
         "graph"; "n"; "encoding"; "execs"; "deliveries"; "update-bits";
-        "proof-bits"; "repair-bits"; "total-bits"; "ok";
+        "proof-bits"; "request-bits"; "repair-bits"; "total-bits"; "stale";
+        "ok";
       ]
   in
   let workloads =
@@ -36,8 +41,10 @@ let rows ?(seeds = [ 1; 2 ]) rng =
           and deliveries = ref 0
           and update_bits = ref 0
           and proof_bits = ref 0
+          and request_bits = ref 0
           and repair_bits = ref 0
           and total = ref 0
+          and stale = ref 0
           and ok = ref true in
           List.iter
             (fun seed ->
@@ -53,8 +60,13 @@ let rows ?(seeds = [ 1; 2 ]) rng =
               deliveries := max !deliveries stats.M.deliveries;
               update_bits := max !update_bits stats.M.update_bits;
               proof_bits := max !proof_bits stats.M.proof_bits;
+              request_bits :=
+                max !request_bits
+                  (stats.M.request_messages
+                  * Ss_energy.Energy.request_message_bits);
               repair_bits := max !repair_bits stats.M.full_copy_bits;
               total := max !total (M.total_bits stats);
+              stale := max !stale stats.M.stale_proof_messages;
               ok :=
                 !ok && stats.M.quiescent
                 && Checker.legitimate_terminal params hist final = Ok ())
@@ -68,8 +80,10 @@ let rows ?(seeds = [ 1; 2 ]) rng =
               string_of_int !deliveries;
               string_of_int !update_bits;
               string_of_int !proof_bits;
+              string_of_int !request_bits;
               string_of_int !repair_bits;
               string_of_int !total;
+              string_of_int !stale;
               (if !ok then "yes" else "NO");
             ])
         [ ("full", M.Full_state); ("delta", M.Delta) ])

@@ -64,6 +64,21 @@ let port_of g p q =
   in
   go 0
 
+let port_table g =
+  (* One hashtable pass per node instead of a linear [port_of] scan
+     per lookup: O(n + m) to build, O(1) per cached entry. *)
+  let inverse =
+    Array.map
+      (fun nbrs ->
+        let h = Hashtbl.create (max 4 (Array.length nbrs)) in
+        Array.iteri (fun i q -> Hashtbl.replace h q i) nbrs;
+        h)
+      g.adj
+  in
+  Array.mapi
+    (fun p nbrs -> Array.map (fun q -> Hashtbl.find inverse.(q) p) nbrs)
+    g.adj
+
 let edges g =
   let acc = ref [] in
   Array.iteri

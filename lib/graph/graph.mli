@@ -45,6 +45,15 @@ val port_of : t -> int -> int -> int
 (** [port_of g p q] is the port index of [q] in [p]'s neighbor array.
     @raise Not_found if [q] is not a neighbor of [p]. *)
 
+val port_table : t -> int array array
+(** [port_table g] precomputes every reverse port lookup: with
+    [rp = port_table g] and [q = (neighbors g p).(i)], the entry
+    [rp.(p).(i)] equals [port_of g q p] — the port under which [q]
+    sees [p].  Built once in [O(n + m)]; use it instead of repeated
+    [port_of] calls on hot paths (e.g. per-message delivery in the
+    message-network simulator).  The returned arrays must not be
+    mutated. *)
+
 val edges : t -> (int * int) list
 (** All edges as pairs [(u, v)] with [u < v], in increasing order. *)
 

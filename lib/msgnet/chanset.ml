@@ -1,0 +1,42 @@
+module Rng = Ss_prelude.Rng
+
+type t = {
+  pos : int array;
+  (* pos.(id) is the index of [id] in [active], or -1 when absent. *)
+  active : int array;
+  mutable len : int;
+}
+
+let create capacity =
+  {
+    pos = Array.make (max 1 capacity) (-1);
+    active = Array.make (max 1 capacity) 0;
+    len = 0;
+  }
+
+let cardinal t = t.len
+let is_empty t = t.len = 0
+let mem t id = t.pos.(id) >= 0
+
+let add t id =
+  if t.pos.(id) < 0 then begin
+    t.active.(t.len) <- id;
+    t.pos.(id) <- t.len;
+    t.len <- t.len + 1
+  end
+
+let remove t id =
+  let i = t.pos.(id) in
+  if i >= 0 then begin
+    let last = t.active.(t.len - 1) in
+    t.active.(i) <- last;
+    t.pos.(last) <- i;
+    t.pos.(id) <- -1;
+    t.len <- t.len - 1
+  end
+
+let pick t rng =
+  if t.len = 0 then invalid_arg "Chanset.pick: empty set"
+  else t.active.(Rng.int rng t.len)
+
+let elements t = List.sort compare (Array.to_list (Array.sub t.active 0 t.len))

@@ -1,0 +1,33 @@
+(** Dense O(1) membership set over channel ids [0 .. capacity-1] —
+    the channel-level analogue of the engine's dirty-set scheduler.
+
+    The message-network event loop must repeatedly pick a uniformly
+    random non-empty directed channel.  A full scan over all [2m]
+    channels per delivered message makes every event O(m); this
+    structure maintains the non-empty set incrementally instead: a
+    dense array of the active ids plus an inverse position index, so
+    [add] / [remove] are O(1) (remove swaps with the last element) and
+    a uniform [pick] is a single array read.  Iteration order is
+    unspecified; membership and cardinality are exact. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty set over ids [0 .. capacity-1]. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** O(1); no-op when already present. *)
+
+val remove : t -> int -> unit
+(** O(1) swap-with-last; no-op when absent. *)
+
+val pick : t -> Ss_prelude.Rng.t -> int
+(** Uniform member in O(1) (one rng draw, one array read).
+    @raise Invalid_argument on the empty set. *)
+
+val elements : t -> int list
+(** Members in increasing order (fresh list; for tests/debugging). *)

@@ -14,7 +14,7 @@ type 's delta = D_rr | D_rp of int | D_rc | D_ru of 's
 type 's message =
   | Update_full of 's St.t
   | Update_delta of 's delta
-  | Proof of int64 * int64  (* hash, nonce *)
+  | Proof of int64 * int64  (* hash, wave nonce *)
   | Request
   | Full_copy of 's St.t
 
@@ -25,6 +25,7 @@ type stats = {
   update_bits : int;
   proof_messages : int;
   proof_bits : int;
+  stale_proof_messages : int;
   request_messages : int;
   full_copy_messages : int;
   full_copy_bits : int;
@@ -33,7 +34,8 @@ type stats = {
 }
 
 let total_bits s =
-  s.update_bits + s.proof_bits + s.full_copy_bits + (s.request_messages * 2)
+  s.update_bits + s.proof_bits + s.full_copy_bits
+  + (s.request_messages * Energy.request_message_bits)
 
 type 's counters = {
   mutable deliveries : int;
@@ -42,6 +44,7 @@ type 's counters = {
   mutable update_bits : int;
   mutable proof_messages : int;
   mutable proof_bits_total : int;
+  mutable stale_proof_messages : int;
   mutable request_messages : int;
   mutable full_copy_messages : int;
   mutable full_copy_bits : int;
@@ -57,6 +60,7 @@ let fresh_counters () =
     update_bits = 0;
     proof_messages = 0;
     proof_bits_total = 0;
+    stale_proof_messages = 0;
     request_messages = 0;
     full_copy_messages = 0;
     full_copy_bits = 0;
@@ -86,14 +90,30 @@ let delta_message_bits params new_state = function
   | D_ru _ ->
       2 + params.Transformer.sync.Sync_algo.state_bits (St.top new_state)
 
-let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
-    ?(heartbeat_every = 400) ~rng ?(corrupt_mirrors = true) params config =
+let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
+    ?(proof = Energy.default_proof_cost) ?heartbeat_every ~rng
+    ?(corrupt_mirrors = true) params config =
   let g = config.Config.graph in
   let n = Config.n config in
   let sync = params.Transformer.sync in
   let algo = Transformer.algorithm params in
   let states = Array.copy config.Config.states in
-  let serialize st = Format.asprintf "%a" (St.pp sync.Sync_algo.pp_state) st in
+  (* Proof pre-image: a structural binary dump, an order of magnitude
+     cheaper than pretty-printing and injective for the plain-data
+     states the sync algorithms use. *)
+  let serialize (st : _ St.t) = Marshal.to_string st [] in
+  let proof_msg_bits = Energy.proof_message_bits proof in
+  (* Each wave enqueues one proof per directed link (2m messages) while
+     the timer fires every [heartbeat_every] *deliveries*: a period at
+     or below 2m refills waves faster than they can drain, so channels
+     never empty and quiescence is unreachable.  The default therefore
+     scales with the network instead of being a constant that silently
+     breaks past m = 200. *)
+  let heartbeat_every =
+    match heartbeat_every with
+    | Some h -> h
+    | None -> max 400 (4 * Graph.m g)
+  in
 
   (* Mirrors: mirrors.(v).(k) is v's belief about its port-k neighbor. *)
   let mirrors =
@@ -108,35 +128,124 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
           (Graph.neighbors g v))
   in
 
-  (* Directed FIFO channels. *)
-  let channels = Hashtbl.create (4 * Graph.m g) in
-  Graph.iter_nodes g (fun u ->
-      Array.iter
-        (fun v -> Hashtbl.replace channels (u, v) (Queue.create ()))
-        (Graph.neighbors g u));
-  let send u v msg = Queue.push msg (Hashtbl.find channels (u, v)) in
-  let nonempty_channels () =
-    Hashtbl.fold
-      (fun key q acc -> if Queue.is_empty q then acc else key :: acc)
-      channels []
+  (* Proof pre-images, memoized.  Serializing a transformer state is
+     far more expensive than hashing it, and proof waves keep re-proving
+     states and mirrors that have not changed since the previous wave —
+     so cache the serialization and invalidate on write. *)
+  let state_ser = Array.make n None in
+  let serialize_state v =
+    match state_ser.(v) with
+    | Some s -> s
+    | None ->
+        let s = serialize states.(v) in
+        state_ser.(v) <- Some s;
+        s
+  in
+  let mirror_ser =
+    Array.map (fun row -> Array.make (Array.length row) None) mirrors
+  in
+  let serialize_mirror v port =
+    match mirror_ser.(v).(port) with
+    | Some s -> s
+    | None ->
+        let s = serialize mirrors.(v).(port) in
+        mirror_ser.(v).(port) <- Some s;
+        s
+  in
+  let set_mirror v port st =
+    mirrors.(v).(port) <- st;
+    mirror_ser.(v).(port) <- None
+  in
+
+  (* Directed FIFO channels, indexed densely: channel [chan_of.(u).(i)]
+     carries u's messages to its port-i neighbor.  [chan_dst_port] is
+     the receiver-side port (precomputed via Graph.port_table — no
+     per-delivery [port_of] scan), which doubles as the index of the
+     reply channel: the receiver answers u on [chan_of.(v).(port)]. *)
+  let nchan = 2 * Graph.m g in
+  let chan_dst = Array.make (max 1 nchan) 0 in
+  let chan_src = Array.make (max 1 nchan) 0 in
+  let chan_dst_port = Array.make (max 1 nchan) 0 in
+  let chan_q = Array.init (max 1 nchan) (fun _ -> Queue.create ()) in
+  let chan_of =
+    let ports = Graph.port_table g in
+    let next = ref 0 in
+    Array.init n (fun u ->
+        Array.mapi
+          (fun i v ->
+            let id = !next in
+            incr next;
+            chan_src.(id) <- u;
+            chan_dst.(id) <- v;
+            chan_dst_port.(id) <- ports.(u).(i);
+            id)
+          (Graph.neighbors g u))
+  in
+  (* The naive reference path keeps the original (u, v)-keyed hash
+     table so its selection reproduces what every event paid before
+     the indexed scheduler existed. *)
+  let naive_channels = Hashtbl.create (if indexed then 1 else 4 * Graph.m g) in
+  if not indexed then
+    Array.iteri
+      (fun u row ->
+        let nbrs = Graph.neighbors g u in
+        Array.iteri
+          (fun i cid -> Hashtbl.replace naive_channels (u, nbrs.(i)) cid)
+          row)
+      chan_of;
+
+  (* The non-empty-channel set, maintained on every send/deliver so the
+     indexed path picks a random pending link in O(1) instead of
+     rescanning all 2m channels per event. *)
+  let active = Chanset.create nchan in
+  (* The original code kept channels in a (u, v)-keyed hash table and
+     paid one tuple-keyed lookup per send and per delivery; the naive
+     reference path keeps that cost (and skips the Chanset upkeep it
+     never consults). *)
+  let chan_queue cid =
+    if indexed then chan_q.(cid)
+    else chan_q.(Hashtbl.find naive_channels (chan_src.(cid), chan_dst.(cid)))
+  in
+  let send cid msg =
+    let q = chan_queue cid in
+    if indexed && Queue.is_empty q then Chanset.add active cid;
+    Queue.push msg q
+  in
+
+  (* Reference (naive) selection: exactly what every event paid before
+     the indexed scheduler — a Hashtbl.fold over all 2m channels
+     rebuilding the pending-link list, then a random pick from it. *)
+  let pick_channel () =
+    if indexed then
+      if Chanset.is_empty active then -1 else Chanset.pick active rng
+    else
+      match
+        Hashtbl.fold
+          (fun _ cid acc ->
+            if Queue.is_empty chan_q.(cid) then acc else cid :: acc)
+          naive_channels []
+      with
+      | [] -> -1
+      | pending -> Rng.pick_list rng pending
   in
 
   let c = fresh_counters () in
 
   let broadcast_move v new_state rule_name =
-    Array.iter
-      (fun u ->
+    let nbrs = Graph.neighbors g v in
+    Array.iteri
+      (fun i _u ->
         c.update_messages <- c.update_messages + 1;
-        (match encoding with
+        match encoding with
         | Full_state ->
             c.update_bits <-
               c.update_bits + Energy.full_state_bits sync new_state;
-            send v u (Update_full new_state)
+            send chan_of.(v).(i) (Update_full new_state)
         | Delta ->
             let d = delta_of_move rule_name new_state in
             c.update_bits <- c.update_bits + delta_message_bits params new_state d;
-            send v u (Update_delta d)))
-      (Graph.neighbors g v)
+            send chan_of.(v).(i) (Update_delta d))
+      nbrs
   in
 
   (* Local step: act on own state + mirrors until no rule is enabled
@@ -159,42 +268,64 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
       | Some rule ->
           let new_state = rule.Algorithm.action view in
           states.(v) <- new_state;
+          state_ser.(v) <- None;
           c.rule_executions <- c.rule_executions + 1;
           broadcast_move v new_state rule.Algorithm.rule_name
     done
   in
 
-  let deliver u v =
-    let q = Hashtbl.find channels (u, v) in
+  (* Wave nonce.  Proofs carry the nonce of the wave that hashed them;
+     a proof from a superseded wave is dropped on delivery instead of
+     being compared — the current wave re-verifies every mirror anyway,
+     so a stale proof can only add spurious Request/Full_copy traffic
+     (e.g. when the repair it would ask for is already queued behind
+     it).  Dropping also keeps [requests_in_wave] correctly attributed:
+     only current-wave proofs can raise requests, so the reset at wave
+     start can never erase or miscount in-flight evidence. *)
+  let nonce = ref 0L in
+
+  let deliver cid =
+    let q = chan_queue cid in
     let msg = Queue.pop q in
+    if indexed && Queue.is_empty q then Chanset.remove active cid;
     c.deliveries <- c.deliveries + 1;
-    let port = Graph.port_of g v u in
+    let v = chan_dst.(cid) in
+    (* The naive path re-derives the receiver-side port with the O(deg)
+       scan the original code paid per delivery. *)
+    let port =
+      if indexed then chan_dst_port.(cid)
+      else Graph.port_of g v chan_src.(cid)
+    in
     match msg with
     | Update_full s ->
-        mirrors.(v).(port) <- s;
+        set_mirror v port s;
         act v
     | Update_delta d ->
-        mirrors.(v).(port) <- apply_delta mirrors.(v).(port) d;
+        set_mirror v port (apply_delta mirrors.(v).(port) d);
         act v
-    | Proof (h, nonce) ->
-        if Energy.state_proof ~nonce (serialize mirrors.(v).(port)) <> h then begin
+    | Proof (h, pnonce) ->
+        if pnonce < !nonce then
+          c.stale_proof_messages <- c.stale_proof_messages + 1
+        else if Energy.state_proof ~nonce:pnonce (serialize_mirror v port) <> h
+        then begin
           c.request_messages <- c.request_messages + 1;
           c.requests_in_wave <- c.requests_in_wave + 1;
-          send v u Request
+          send chan_of.(v).(port) Request
         end
     | Request ->
         c.full_copy_messages <- c.full_copy_messages + 1;
         c.full_copy_bits <-
           c.full_copy_bits + Energy.full_state_bits sync states.(v);
-        send v u (Full_copy states.(v))
+        send chan_of.(v).(port) (Full_copy states.(v))
     | Full_copy s ->
-        mirrors.(v).(port) <- s;
+        set_mirror v port s;
         act v
   in
 
-  let enabled_on_mirrors () =
-    let acc = ref [] in
-    for v = n - 1 downto 0 do
+  let node_scratch = Array.make n 0 in
+  let pick_enabled_on_mirrors () =
+    let k = ref 0 in
+    for v = 0 to n - 1 do
       let view =
         {
           Algorithm.input = Config.input config v;
@@ -202,24 +333,26 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
           neighbors = mirrors.(v);
         }
       in
-      if Algorithm.is_enabled algo view then acc := v :: !acc
+      if Algorithm.is_enabled algo view then begin
+        node_scratch.(!k) <- v;
+        incr k
+      end
     done;
-    !acc
+    if !k = 0 then -1 else node_scratch.(Rng.int rng !k)
   in
 
-  let nonce = ref 0L in
   let proof_wave () =
     nonce := Int64.add !nonce 1L;
     c.proof_waves <- c.proof_waves + 1;
     c.requests_in_wave <- 0;
     Graph.iter_nodes g (fun v ->
-        let h = Energy.state_proof ~nonce:!nonce (serialize states.(v)) in
+        let h = Energy.state_proof ~nonce:!nonce (serialize_state v) in
         Array.iter
-          (fun u ->
+          (fun cid ->
             c.proof_messages <- c.proof_messages + 1;
-            c.proof_bits_total <- c.proof_bits_total + proof_bits;
-            send v u (Proof (h, !nonce)))
-          (Graph.neighbors g v))
+            c.proof_bits_total <- c.proof_bits_total + proof_msg_bits;
+            send cid (Proof (h, !nonce)))
+          chan_of.(v))
   in
 
   let rec loop events =
@@ -230,20 +363,22 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
          could churn indefinitely (§6's proofs are timer-driven, not
          quiescence-driven). *)
       if events > 0 && events mod heartbeat_every = 0 then proof_wave ();
-      match nonempty_channels () with
-      | _ :: _ as links ->
-          let u, v = Rng.pick_list rng links in
-          deliver u v;
+      match pick_channel () with
+      | cid when cid >= 0 ->
+          deliver cid;
           loop (events + 1)
-      | [] -> (
-          match enabled_on_mirrors () with
-          | _ :: _ as nodes ->
-              act (Rng.pick_list rng nodes);
+      | _ -> (
+          match pick_enabled_on_mirrors () with
+          | v when v >= 0 ->
+              act v;
               loop (events + 1)
-          | [] ->
-              (* Local quiescence.  If the last completed wave verified
-                 every mirror (no request), the states are terminal for
-                 the atomic-state transformer; otherwise heartbeat. *)
+          | _ ->
+              (* Local quiescence.  The last wave's proofs have all been
+                 delivered (no channel is pending) and, being
+                 current-wave on delivery, none were dropped as stale:
+                 if the wave verified every mirror (no request), the
+                 states are terminal for the atomic-state transformer;
+                 otherwise heartbeat. *)
               if c.proof_waves > 0 && c.requests_in_wave = 0 then true
               else begin
                 proof_wave ();
@@ -260,6 +395,7 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
       update_bits = c.update_bits;
       proof_messages = c.proof_messages;
       proof_bits = c.proof_bits_total;
+      stale_proof_messages = c.stale_proof_messages;
       request_messages = c.request_messages;
       full_copy_messages = c.full_copy_messages;
       full_copy_bits = c.full_copy_bits;
@@ -268,3 +404,13 @@ let run ?(encoding = Delta) ?(max_events = 2_000_000) ?(proof_bits = 128)
     }
   in
   (Config.with_states config states, stats)
+
+let run ?encoding ?max_events ?proof ?heartbeat_every ~rng ?corrupt_mirrors
+    params config =
+  run_impl ~indexed:true ?encoding ?max_events ?proof ?heartbeat_every ~rng
+    ?corrupt_mirrors params config
+
+let run_naive ?encoding ?max_events ?proof ?heartbeat_every ~rng
+    ?corrupt_mirrors params config =
+  run_impl ~indexed:false ?encoding ?max_events ?proof ?heartbeat_every ~rng
+    ?corrupt_mirrors params config

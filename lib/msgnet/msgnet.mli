@@ -7,24 +7,38 @@
     of each neighbor's state; a node that moves sends each neighbor an
     update — either its whole state ([O(B·S)] bits) or a {e delta}
     ([O(S + log B)] bits: the rule label plus its payload); and nodes
-    periodically exchange {e proofs} (a salted hash plus its nonce) so
-    that mirrors corrupted by transient faults are detected and
-    repaired via an explicit full-copy request.
+    periodically exchange {e proofs} (a salted hash plus its wave
+    nonce) so that mirrors corrupted by transient faults are detected
+    and repaired via an explicit full-copy request.
 
     This module is an event-driven simulator of that protocol:
 
     - per-directed-link FIFO channels with adversarial (random)
-      delivery interleaving;
+      delivery interleaving; the event loop picks a pending link in
+      O(1) amortized from an incrementally maintained non-empty
+      channel set ({!Chanset}) — the channel-level analogue of the
+      engine's dirty-set scheduler — instead of rescanning all [2m]
+      channels per delivered message;
     - guard evaluation over the node's own state and its mirrors —
       which may be stale or even corrupted; wrong moves taken on stale
       information are later corrected by the transformer's own error
       mechanism, which is exactly why self-stabilization makes the
       implementation simple;
+    - proof waves tagged with a monotone {e nonce}: a proof delivered
+      after its wave has been superseded is dropped (counted in
+      [stale_proof_messages]) rather than compared, because the newer
+      wave re-verifies every mirror anyway — comparing it could only
+      raise spurious [Request]/[Full_copy] repair traffic (e.g. when
+      the repair it asks for is already queued behind it), and its
+      request would be mis-attributed to the current wave's
+      [requests_in_wave] accounting;
     - quiescence detection: when no message is in flight and no node
       is enabled on its mirrors, a proof wave runs; the execution ends
       when a wave triggers no repair (all mirrors verified accurate),
       at which point the true states form a terminal configuration of
-      the atomic-state transformer.
+      the atomic-state transformer.  Because stale proofs never raise
+      requests, the [requests_in_wave = 0] test counts evidence from
+      the deciding wave only.
 
     Faults can hit both the node states and the mirrors
     independently. *)
@@ -40,20 +54,26 @@ type stats = {
   update_bits : int;
   proof_messages : int;
   proof_bits : int;
+      (** [proof_messages * Energy.proof_message_bits]: hash plus wave
+          nonce per proof. *)
+  stale_proof_messages : int;
+      (** Proofs delivered after their wave was superseded and dropped
+          without comparison. *)
   request_messages : int;
   full_copy_messages : int;
   full_copy_bits : int;
-  proof_waves : int;  (** Quiescence-triggered heartbeat waves. *)
+  proof_waves : int;  (** Timer- and quiescence-triggered proof waves. *)
   quiescent : bool;  (** Reached verified quiescence within the budget. *)
 }
 
 val total_bits : stats -> int
-(** All traffic: updates + proofs + requests + full copies. *)
+(** All traffic: updates + proofs + requests
+    ([Energy.request_message_bits] each) + full copies. *)
 
 val run :
   ?encoding:encoding ->
   ?max_events:int ->
-  ?proof_bits:int ->
+  ?proof:Ss_energy.Energy.proof_cost ->
   ?heartbeat_every:int ->
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
@@ -64,10 +84,39 @@ val run :
     (possibly corrupted) true states.  With [corrupt_mirrors] (default
     [true]) the initial mirrors are independently scrambled, modelling
     faults that also hit the cached copies.  A proof wave fires every
-    [heartbeat_every] events (default 400) — the timer-driven §6
-    heartbeat; without it, delta updates applied to a corrupted mirror
-    would never be repaired and the system could churn forever — and
-    additionally whenever the system looks locally quiescent.
+    [heartbeat_every] events (default [max 400 (4 * m)]) — the
+    timer-driven §6 heartbeat; without it, delta updates applied to a
+    corrupted mirror would never be repaired and the system could
+    churn forever — and additionally whenever the system looks locally
+    quiescent.  Each wave enqueues [2m] proof messages, so a period at
+    or below [2m] refills waves faster than they drain and quiescence
+    becomes unreachable: the default scales with the network, and
+    explicit values near [2m] are stress settings that converge slowly
+    (or, below [2m], not at all).
     Defaults: [encoding = Delta], [max_events = 2_000_000],
-    [proof_bits = 128] (hash + nonce).  Returns the final true states
-    and the traffic/work accounting. *)
+    [proof = Energy.default_proof_cost] (64-bit hash + 64-bit nonce).
+    Returns the final true states and the traffic/work accounting.
+
+    Each event costs O(1) amortized in the number of channels: pending
+    links come from the maintained {!Chanset} rather than a full
+    channel scan.  Differentially tested against {!run_naive}. *)
+
+val run_naive :
+  ?encoding:encoding ->
+  ?max_events:int ->
+  ?proof:Ss_energy.Energy.proof_cost ->
+  ?heartbeat_every:int ->
+  rng:Ss_prelude.Rng.t ->
+  ?corrupt_mirrors:bool ->
+  ('s, 'i) Ss_core.Transformer.params ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
+(** Reference event loop: identical protocol, but with the historical
+    per-event costs — every event rebuilds the pending-link list with
+    a [Hashtbl.fold] over all [2m] channels, every send and delivery
+    resolves its queue through a tuple-keyed hash lookup, and every
+    delivery re-derives the receiver-side port with an O(degree)
+    [Graph.port_of] scan.  The random link choice consumes the rng
+    differently from {!run}, so the two produce different (equally
+    valid) interleavings; both must reach the same terminal states.
+    Kept for differential testing and benchmarking. *)

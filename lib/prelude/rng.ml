@@ -49,9 +49,12 @@ let pick g a =
   a.(int g (Array.length a))
 
 let pick_list g l =
+  (* Array-backed: one [int] draw (same stream as the historical
+     [List.nth] version) followed by an O(1) index instead of a second
+     O(length) list traversal. *)
   match l with
   | [] -> invalid_arg "Rng.pick_list: empty list"
-  | _ -> List.nth l (int g (List.length l))
+  | _ -> pick g (Array.of_list l)
 
 let shuffle g a =
   for i = Array.length a - 1 downto 1 do

@@ -63,6 +63,14 @@ let step algo config selected =
 
 let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
 
+(* Hard move budget: activating a full selection could overshoot
+   [max_moves] by up to n-1 moves (the bound used to be checked only
+   between steps), so the final, budget-crossing step executes only a
+   prefix of the daemon's selection, in the daemon's order. *)
+let cap_selection ~budget selected =
+  if List.length selected <= budget then selected
+  else List.filteri (fun i _ -> i < budget) selected
+
 (* Shared per-run accounting: per-node and per-rule move counters and
    the final stats record. *)
 let make_counters n =
@@ -115,6 +123,7 @@ let run ?(max_steps = 10_000_000) ?(max_moves = max_int) ?(self_check = false)
       let enabled = Sched.enabled sched in
       let selected = daemon.Daemon.select ~step:steps ~enabled in
       validate_with config ~is_enabled:(Sched.is_enabled sched) selected;
+      let selected = cap_selection ~budget:(max_moves - moves) selected in
       let config', moved =
         apply config ~rule_of:(Sched.enabled_rule sched) selected
       in
@@ -143,7 +152,13 @@ let run_naive ?(max_steps = 10_000_000) ?(max_moves = max_int)
       (config, steps, moves, false)
     else begin
       let selected = daemon.Daemon.select ~step:steps ~enabled in
-      let config', moved = step algo config selected in
+      validate_selection config enabled selected;
+      let selected = cap_selection ~budget:(max_moves - moves) selected in
+      let config', moved =
+        apply config
+          ~rule_of:(fun p -> Algorithm.enabled_rule algo (Config.view config p))
+          selected
+      in
       List.iter note_move moved;
       let enabled_after = Config.enabled_nodes algo config' in
       Rounds.note_step tracker ~moved:(List.map fst moved) ~enabled_after;

@@ -48,6 +48,16 @@ val run :
     exhaustion (defaults: [max_steps = 10_000_000], [max_moves]
     unlimited).  [stats.terminated] reports which happened.
 
+    [max_moves] is a {e hard} bound: [stats.moves <= max_moves]
+    always.  A step whose selection would cross the remaining budget
+    executes only a prefix of the selection (in the daemon's order) —
+    the historical behavior checked the budget only between steps and
+    could overshoot by up to n-1 moves on a synchronous step.  The
+    truncated step still counts as one step, and [terminated] is
+    [false] when the budget cut the execution short.  [max_steps]
+    keeps its pre-step semantics: the step that would exceed it is
+    simply not taken.
+
     The engine is {e incremental}: it maintains the enabled set with
     a dirty-set scheduler ({!Sched}) that re-evaluates guards only
     for nodes whose closed neighborhood changed, instead of scanning
@@ -71,7 +81,8 @@ val run_naive :
 (** Reference engine: recomputes the full enabled set from scratch
     every step ([O(n·Δ)] guard evaluations per step).  Kept as the
     compatibility baseline for differential testing and benchmarking;
-    produces exactly the same execution as {!run}. *)
+    produces exactly the same execution as {!run}, including the hard
+    [max_moves] prefix-truncation semantics. *)
 
 val step :
   ('s, 'i) Algorithm.t ->

@@ -22,7 +22,9 @@ type ('s, 'i) t = {
           [st.init]. *)
   step : 'i -> 's -> 's array -> 's;
       (** [step input self neighbors] is the next state.  Must be a
-          pure function of its arguments. *)
+          pure function of its arguments and must not retain the
+          [neighbors] array itself — callers on hot paths reuse one
+          scratch buffer across calls. *)
   random_state : Ss_prelude.Rng.t -> 'i -> 's;
       (** An arbitrary (possibly corrupt) state, used to model
           transient faults hitting simulation list cells. *)

@@ -78,14 +78,18 @@ let test_heartbeats_accounting () =
   let g, inputs, params = ring_setup () in
   let sum_deg = 2 * Graph.n g in
   let _stats, cost =
-    Energy.measure ~heartbeat_period:1 ~proof_bits:64 ~nonce_bits:64 params
-      Daemon.synchronous
+    Energy.measure ~heartbeat_period:1
+      ~proof:{ Energy.proof_bits = 64; nonce_bits = 64 }
+      params Daemon.synchronous
       (Transformer.clean_config params g ~inputs)
   in
   check_int "one heartbeat wave per round" (cost.Energy.rounds * sum_deg)
     cost.Energy.heartbeat_messages;
   check_int "heartbeat bits" (cost.Energy.heartbeat_messages * 128)
-    cost.Energy.heartbeat_bits
+    cost.Energy.heartbeat_bits;
+  check_int "matches the shared default proof cost"
+    (Energy.proof_message_bits Energy.default_proof_cost)
+    128
 
 let test_heartbeat_period_scales () =
   let g, inputs, params = ring_setup () in

@@ -131,6 +131,60 @@ let test_event_budget_reported () =
   let _, stats = M.run ~max_events:3 ~rng params start in
   check "budget exhaustion reported" false stats.M.quiescent
 
+let test_stale_proofs_dropped_without_spurious_traffic () =
+  (* Regression for the stale-proof bug.  Start from the engine's
+     terminal configuration with accurate mirrors and force perpetual
+     wave overlap: a heartbeat period shorter than the 2m proof
+     messages each wave enqueues means every wave is superseded before
+     it fully drains.  The superseded proofs must be counted and
+     dropped — never compared against a mirror the next wave is
+     already re-verifying — so no Request or Full_copy traffic can
+     appear even though the network never goes quiet. *)
+  let g = Builders.cycle 6 in
+  let inputs p = p + 3 in
+  let params = Transformer.params Min_flood.algo in
+  let stats =
+    Transformer.run params Ss_sim.Daemon.synchronous
+      (Transformer.clean_config params g ~inputs)
+  in
+  check "engine reached terminal" true stats.Ss_sim.Engine.terminated;
+  let terminal = stats.Ss_sim.Engine.final in
+  let m = Graph.m g in
+  let rng = Rng.create 71 in
+  let _, s =
+    M.run ~heartbeat_every:m ~max_events:4_000 ~rng ~corrupt_mirrors:false
+      params terminal
+  in
+  check "waves overlap: stale proofs observed" true
+    (s.M.stale_proof_messages > 0);
+  check_int "stale proofs raise no requests" 0 s.M.request_messages;
+  check_int "stale proofs trigger no full copies" 0 s.M.full_copy_messages;
+  (* Waves refill faster than they drain, so the run exhausts its
+     event budget instead of declaring quiescence — by design. *)
+  check "budget exhausted under perpetual overlap" false s.M.quiescent
+
+let test_stale_proofs_during_recovery () =
+  (* Wave overlap during an actual recovery: a heartbeat period just
+     above one wave's worth of proofs makes superseded proofs common
+     while repair traffic is still in flight, yet every run must still
+     reach verified quiescence and a legitimate terminal state. *)
+  let total_stale = ref 0 in
+  List.iter
+    (fun seed ->
+      let _, g, _, params, hist, start = setting seed in
+      let rng = Rng.create (900 + seed) in
+      let final, s =
+        M.run ~heartbeat_every:((2 * Graph.m g) + 2) ~rng params start
+      in
+      check (Printf.sprintf "seed %d quiescent" seed) true s.M.quiescent;
+      check
+        (Printf.sprintf "seed %d legitimate" seed)
+        true
+        (Checker.legitimate_terminal params hist final = Ok ());
+      total_stale := !total_stale + s.M.stale_proof_messages)
+    [ 1; 2; 3; 4; 5; 6 ];
+  check "overlapping waves produced stale proofs" true (!total_stale > 0)
+
 let test_bfs_over_message_passing () =
   (* The protocol is algorithm-generic: BFS trees converge too. *)
   let rng = Rng.create 19 in
@@ -207,6 +261,10 @@ let () =
           Alcotest.test_case "heartbeat period" `Quick
             test_heartbeat_period_controls_proof_traffic;
           Alcotest.test_case "event budget" `Quick test_event_budget_reported;
+          Alcotest.test_case "stale proofs dropped" `Quick
+            test_stale_proofs_dropped_without_spurious_traffic;
+          Alcotest.test_case "stale proofs during recovery" `Quick
+            test_stale_proofs_during_recovery;
           Alcotest.test_case "BFS over message passing" `Quick
             test_bfs_over_message_passing;
           Alcotest.test_case "greedy CV over message passing" `Quick

@@ -156,7 +156,38 @@ let test_max_moves_budget () =
   let c = path_config [| 0; 0; 0; 0; 9 |] in
   let stats = Engine.run ~max_moves:1 max_algo Daemon.synchronous c in
   check "not terminated" false stats.Engine.terminated;
-  check "move budget respected" true (stats.Engine.moves <= 2)
+  check_int "exactly the move budget" 1 stats.Engine.moves
+
+let test_max_moves_is_a_hard_bound () =
+  (* Three nodes are enabled simultaneously; a synchronous step used to
+     overshoot max_moves by n-1.  The bound is now hard: the final step
+     activates only a budget-sized prefix of the selection, identically
+     in both engines. *)
+  let c = path_config [| 0; 9; 0; 9; 0 |] in
+  List.iter
+    (fun budget ->
+      let incr = Engine.run ~max_moves:budget max_algo Daemon.synchronous c in
+      let naive =
+        Engine.run_naive ~max_moves:budget max_algo Daemon.synchronous c
+      in
+      check_int
+        (Printf.sprintf "budget %d: moves capped" budget)
+        budget incr.Engine.moves;
+      check (Printf.sprintf "budget %d: not terminated" budget) false
+        incr.Engine.terminated;
+      check_int
+        (Printf.sprintf "budget %d: naive agrees on moves" budget)
+        incr.Engine.moves naive.Engine.moves;
+      Alcotest.(check (array int))
+        (Printf.sprintf "budget %d: naive agrees on states" budget)
+        incr.Engine.final.Config.states naive.Engine.final.Config.states)
+    [ 1; 2 ];
+  (* Prefix semantics: with budget 2 the two smallest enabled nodes
+     (daemon order = ascending) moved, the third did not. *)
+  let stats = Engine.run ~max_moves:2 max_algo Daemon.synchronous c in
+  Alcotest.(check (array int))
+    "prefix of the synchronous selection moved" [| 9; 9; 9; 9; 0 |]
+    stats.Engine.final.Config.states
 
 let test_observer_sequence () =
   let c = path_config [| 0; 9 |] in
@@ -461,6 +492,8 @@ let () =
           Alcotest.test_case "step atomicity" `Quick test_step_atomicity;
           Alcotest.test_case "step budget" `Quick test_budget;
           Alcotest.test_case "move budget" `Quick test_max_moves_budget;
+          Alcotest.test_case "move budget is hard" `Quick
+            test_max_moves_is_a_hard_bound;
           Alcotest.test_case "observer sequence" `Quick test_observer_sequence;
         ] );
       ( "daemons",
