@@ -172,23 +172,34 @@ let bench_rollback_scan () =
 
 let bench_gamma () = fun () -> ignore (Ss_rollback.Blowup.gamma 8)
 
-(* Machine-readable results (benchmark name -> ns/run), written next
-   to the printed tables so the perf trajectory is trackable across
-   PRs.  [None] estimates are emitted as JSON null. *)
-let emit_json path rows =
-  let oc = open_out path in
-  output_string oc "{\n";
-  let last = List.length rows - 1 in
-  List.iteri
-    (fun i (name, est) ->
-      let value =
-        match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null"
+(* Machine-readable results, written next to the printed tables so the
+   perf trajectory is trackable across PRs.  Both renderings read the
+   same typed Table.t — the text via Table.print, the JSON via the
+   shared Ss_report.Run_report.of_table serializer — so the file
+   content cannot drift from what was printed. *)
+let bench_table label rows =
+  let table = Table.create [ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun (name, est) ->
+      let cell =
+        match est with
+        | Some t -> Table.I (int_of_float (Float.round t))
+        | None -> Table.S "n/a"
       in
-      Printf.fprintf oc "  %S: %s%s\n" name value (if i = last then "" else ","))
+      Table.add table [ Table.S name; cell ])
     rows;
-  output_string oc "}\n";
+  Printf.printf "== %s ==\n" label;
+  Table.print table;
+  table
+
+let emit_json path label table =
+  let oc = open_out path in
+  output_string oc
+    (Ss_report.Json.to_string (Ss_report.Run_report.of_table ~label table));
+  output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s (%d entries)\n%!" path (List.length rows)
+  Printf.printf "wrote %s (%d rows)\n%!" path
+    (List.length (Table.rows table))
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -263,15 +274,6 @@ let micro_benchmarks () =
         (name, est))
       (List.sort compare rows)
   in
-  let table = Table.create [ "benchmark"; "ns/run" ] in
-  List.iter
-    (fun (name, est) ->
-      let cell =
-        match est with Some t -> Printf.sprintf "%.0f" t | None -> "n/a"
-      in
-      Table.add_row table [ name; cell ])
-    estimates;
-  Table.print table;
   (* Message-network benches get their own file so the §6 perf
      trajectory is trackable independently of the engine's. *)
   let is_msgnet (name, _) =
@@ -281,8 +283,10 @@ let micro_benchmarks () =
     at 0
   in
   let msgnet, engine = List.partition is_msgnet estimates in
-  emit_json "BENCH_engine.json" engine;
-  emit_json "BENCH_msgnet.json" msgnet
+  let engine_table = bench_table "engine micro-benchmarks" engine in
+  let msgnet_table = bench_table "msgnet micro-benchmarks" msgnet in
+  emit_json "BENCH_engine.json" "engine micro-benchmarks" engine_table;
+  emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table
 
 let () =
   let t0 = Unix.gettimeofday () in

@@ -12,6 +12,8 @@ module P = Ss_core.Predicates
 module Stabilization = Ss_verify.Stabilization
 module Rng = Ss_prelude.Rng
 module Table = Ss_prelude.Table
+module Json = Ss_report.Json
+module Run_report = Ss_report.Run_report
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -107,9 +109,46 @@ let corrupt_arg =
     value & opt float 1.0
     & info [ "p"; "corruption" ] ~doc:"Per-node fault probability.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "j"; "json" ]
+        ~doc:
+          "Emit machine-readable JSON instead of text tables.  Every row \
+           comes from the same typed record as the printed table, so the \
+           two are content-identical.")
+
 (* ------------------------------------------------------------------ *)
 (* run: one transformed algorithm under one adversary                   *)
 (* ------------------------------------------------------------------ *)
+
+let json_report name ~seed ~spec (r : _ Stabilization.report) =
+  let base =
+    Run_report.v ~seed
+      ~outcome:
+        (if r.Stabilization.terminated then Ss_report.Budget.Completed
+         else Ss_report.Budget.(Tripped Steps))
+      name
+      (Run_report.Engine
+         {
+           Run_report.steps = r.Stabilization.steps;
+           moves = r.Stabilization.moves;
+           rounds = r.Stabilization.rounds;
+           moves_per_rule = r.Stabilization.moves_per_rule;
+         })
+  in
+  match Run_report.to_json base with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ("recovery_moves", Json.Int r.Stabilization.recovery_moves);
+            ("recovery_rounds", Json.Int r.Stabilization.recovery_rounds);
+            ("space_bits", Json.Int r.Stabilization.space_bits);
+            ("legitimate", Json.Bool r.Stabilization.legitimate);
+            ("specification", Json.Bool spec);
+          ])
+  | j -> j
 
 let print_report name (r : _ Stabilization.report) =
   Printf.printf "algorithm      : %s\n" name;
@@ -125,7 +164,7 @@ let print_report name (r : _ Stabilization.report) =
     r.Stabilization.moves_per_rule;
   Printf.printf "legitimate     : %b\n" r.Stabilization.legitimate
 
-let run_algo ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
+let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
   let rng = Rng.create seed in
   let graph = parse_topology rng topology in
   let bound = parse_bound bound in
@@ -140,8 +179,17 @@ let run_algo ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
       Stabilization.corrupted_start (Rng.split rng) ~p ~max_height sc
     in
     let report = Stabilization.run sc ~daemon ~start in
-    print_report sync.Ss_sync.Sync_algo.sync_name report;
-    Printf.printf "specification  : %b\n" (spec report.Stabilization.outputs)
+    let name = sync.Ss_sync.Sync_algo.sync_name in
+    if json then
+      print_endline
+        (Json.to_string
+           (json_report name ~seed
+              ~spec:(spec report.Stabilization.outputs)
+              report))
+    else begin
+      print_report name report;
+      Printf.printf "specification  : %b\n" (spec report.Stabilization.outputs)
+    end
   in
   (match algo_name with
   | "leader" ->
@@ -198,10 +246,10 @@ let run_cmd =
   in
   let term =
     Term.(
-      const (fun algo_name topology daemon seed mode bound p ->
-          run_algo ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p)
-      $ algo $ topology_arg $ daemon_arg $ seed_arg $ mode_arg $ bound_arg
-      $ corrupt_arg)
+      const (fun json algo_name topology daemon seed mode bound p ->
+          run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p)
+      $ json_arg $ algo $ topology_arg $ daemon_arg $ seed_arg $ mode_arg
+      $ bound_arg $ corrupt_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -216,23 +264,31 @@ let run_cmd =
 
 let seeds_list k = List.init k (fun i -> i + 1)
 
-let section title table =
-  Printf.printf "== %s ==\n" title;
-  Table.print table
+(* Both renderings read the same typed Table.t: the text goes through
+   Table.print, the JSON through Run_report.of_table — content-identical
+   by construction (pinned by the test suite). *)
+let section ~json title table =
+  if json then
+    print_endline (Json.to_string (Run_report.of_table ~label:title table))
+  else begin
+    Printf.printf "== %s ==\n" title;
+    Table.print table
+  end
 
-let table1_run which seed seeds =
+let table1_run json which seed seeds =
   let rng () = Rng.create seed in
   let seeds = seeds_list seeds in
   if which = "lazy" || which = "all" then
-    section "Table 1 / lazy mode (leader election)"
+    section ~json "Table 1 / lazy mode (leader election)"
       (Ss_expt.Table1.lazy_rows ~seeds (rng ()));
   if which = "greedy" || which = "all" then
-    section "Table 1 / greedy mode" (Ss_expt.Table1.greedy_rows ~seeds (rng ()));
+    section ~json "Table 1 / greedy mode"
+      (Ss_expt.Table1.greedy_rows ~seeds (rng ()));
   if which = "recovery" || which = "all" then
-    section "Table 1 / error recovery"
+    section ~json "Table 1 / error recovery"
       (Ss_expt.Table1.recovery_rows ~seeds (rng ()));
   if which = "space" || which = "all" then
-    section "Table 1 / space" (Ss_expt.Table1.space_rows ~seeds (rng ()));
+    section ~json "Table 1 / space" (Ss_expt.Table1.space_rows ~seeds (rng ()));
   0
 
 let table1_cmd =
@@ -243,20 +299,22 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the complexity rows of Table 1.")
-    Term.(const table1_run $ which $ seed_arg $ seeds_arg)
+    Term.(const table1_run $ json_arg $ which $ seed_arg $ seeds_arg)
 
-let instances_run which seed seeds =
+let instances_run json which seed seeds =
   let rng () = Rng.create seed in
   let seeds = seeds_list seeds in
   if which = "leader" || which = "all" then
-    section "§5.1 leader election" (Ss_expt.Instances.leader_rows ~seeds (rng ()));
+    section ~json "§5.1 leader election"
+      (Ss_expt.Instances.leader_rows ~seeds (rng ()));
   if which = "bfs" || which = "all" then
-    section "§5.2 BFS spanning tree" (Ss_expt.Instances.bfs_rows ~seeds (rng ()));
+    section ~json "§5.2 BFS spanning tree"
+      (Ss_expt.Instances.bfs_rows ~seeds (rng ()));
   if which = "cv" || which = "all" then
-    section "§5.3 Cole-Vishkin ring coloring"
+    section ~json "§5.3 Cole-Vishkin ring coloring"
       (Ss_expt.Instances.cv_rows ~seeds (rng ()));
   if which = "sp" || which = "all" then
-    section "shortest-path trees (§1 Bellman-Ford input)"
+    section ~json "shortest-path trees (§1 Bellman-Ford input)"
       (Ss_expt.Instances.shortest_path_rows ~seeds (rng ()));
   0
 
@@ -268,10 +326,10 @@ let instances_cmd =
   in
   Cmd.v
     (Cmd.info "instances" ~doc:"Reproduce the §5 instance experiments.")
-    Term.(const instances_run $ which $ seed_arg $ seeds_arg)
+    Term.(const instances_run $ json_arg $ which $ seed_arg $ seeds_arg)
 
-let rollback_run max_k =
-  section "§7 / Figure 1: rollback blow-up vs transformer"
+let rollback_run json max_k =
+  section ~json "§7 / Figure 1: rollback blow-up vs transformer"
     (Ss_expt.Blowup_expt.rows ~max_k ());
   0
 
@@ -284,20 +342,20 @@ let rollback_cmd =
        ~doc:
          "Reproduce the exponential move complexity of the rollback compiler \
           on the G_k family (validated schedule Γ_k).")
-    Term.(const rollback_run $ max_k)
+    Term.(const rollback_run $ json_arg $ max_k)
 
-let energy_run seed seeds =
-  section "§6 message/energy accounting"
+let energy_run json seed seeds =
+  section ~json "§6 message/energy accounting"
     (Ss_expt.Energy_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
 
 let energy_cmd =
   Cmd.v
     (Cmd.info "energy" ~doc:"Reproduce the §6 message-size comparison.")
-    Term.(const energy_run $ seed_arg $ seeds_arg)
+    Term.(const energy_run $ json_arg $ seed_arg $ seeds_arg)
 
-let ablation_run seed seeds =
-  section "ablation: removing RP or the RC window breaks the transformer"
+let ablation_run json seed seeds =
+  section ~json "ablation: removing RP or the RC window breaks the transformer"
     (Ss_expt.Ablation_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
 
@@ -307,10 +365,10 @@ let ablation_cmd =
        ~doc:
          "Compare the full rule set against the no-RP and eager-RC ablations \
           (stuck/live-lock rates, worst moves).")
-    Term.(const ablation_run $ seed_arg $ seeds_arg)
+    Term.(const ablation_run $ json_arg $ seed_arg $ seeds_arg)
 
-let msgnet_run seed seeds =
-  section "§6 end-to-end: transformer over message passing"
+let msgnet_run json seed seeds =
+  section ~json "§6 end-to-end: transformer over message passing"
     (Ss_expt.Msgnet_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
 
@@ -320,12 +378,12 @@ let msgnet_cmd =
        ~doc:
          "Run the message-passing realization (mirrors, heartbeat proofs, \
           delta encoding) end-to-end and report traffic.")
-    Term.(const msgnet_run $ seed_arg $ seeds_arg)
+    Term.(const msgnet_run $ json_arg $ seed_arg $ seeds_arg)
 
-let baselines_run seed seeds =
-  section "hand-crafted min+1 BFS vs transformed BFS"
+let baselines_run json seed seeds =
+  section ~json "hand-crafted min+1 BFS vs transformed BFS"
     (Ss_expt.Baselines_expt.bfs_rows ~seeds:(seeds_list seeds) (Rng.create seed));
-  section "Dijkstra's token ring [27]"
+  section ~json "Dijkstra's token ring [27]"
     (Ss_expt.Baselines_expt.dijkstra_rows (Rng.create seed));
   0
 
@@ -335,13 +393,13 @@ let baselines_cmd =
        ~doc:
          "Compare hand-crafted self-stabilizing baselines (min+1 BFS, \
           Dijkstra's token ring) against the transformer.")
-    Term.(const baselines_run $ seed_arg $ seeds_arg)
+    Term.(const baselines_run $ json_arg $ seed_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: dump one execution as CSV                                     *)
 (* ------------------------------------------------------------------ *)
 
-let trace_run topology daemon seed out =
+let trace_run json topology daemon seed out =
   let rng = Rng.create seed in
   let graph = parse_topology rng topology in
   let daemon = parse_daemon (Rng.split rng) daemon in
@@ -354,12 +412,15 @@ let trace_run topology daemon seed out =
   in
   let observer, events = Ss_sim.Trace.make () in
   let stats = Core.Transformer.run ~observer params daemon start in
-  let csv = Ss_sim.Trace.to_csv (events ()) in
+  let payload =
+    if json then Json.to_string (Ss_sim.Trace.to_json (events ())) ^ "\n"
+    else Ss_sim.Trace.to_csv (events ())
+  in
   (match out with
-  | None -> print_string csv
+  | None -> print_string payload
   | Some path ->
       let oc = open_out path in
-      output_string oc csv;
+      output_string oc payload;
       close_out oc;
       Printf.printf "trace written to %s\n" path);
   Printf.eprintf "(%d moves, %d rounds, terminated=%b)\n"
@@ -409,23 +470,24 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Run transformed leader election from a corrupted start and dump the \
-          per-move trace (step, rounds, node, rule) as CSV.")
-    Term.(const trace_run $ topology_arg $ daemon_arg $ seed_arg $ out)
+          per-move trace (step, rounds, node, rule) as CSV (or JSON with \
+          $(b,--json)).")
+    Term.(const trace_run $ json_arg $ topology_arg $ daemon_arg $ seed_arg $ out)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment table in sequence.")
     Term.(
-      const (fun seed seeds ->
-          ignore (table1_run "all" seed seeds);
-          ignore (instances_run "all" seed seeds);
-          ignore (rollback_run 10);
-          ignore (energy_run seed seeds);
-          ignore (msgnet_run seed seeds);
-          ignore (ablation_run seed seeds);
-          ignore (baselines_run seed seeds);
+      const (fun json seed seeds ->
+          ignore (table1_run json "all" seed seeds);
+          ignore (instances_run json "all" seed seeds);
+          ignore (rollback_run json 10);
+          ignore (energy_run json seed seeds);
+          ignore (msgnet_run json seed seeds);
+          ignore (ablation_run json seed seeds);
+          ignore (baselines_run json seed seeds);
           0)
-      $ seed_arg $ seeds_arg)
+      $ json_arg $ seed_arg $ seeds_arg)
 
 let main =
   Cmd.group

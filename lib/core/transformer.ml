@@ -133,10 +133,13 @@ let corrupt rng ?(p = 1.0) ~max_height params config =
   in
   Config.with_states config states
 
-let run ?max_steps ?self_check ?observer p daemon config =
-  Engine.run ?max_steps ?self_check ?observer (algorithm p) daemon config
+let run ?budget ?max_steps ?max_moves ?self_check ?observer ?sinks p daemon
+    config =
+  Engine.run ?budget ?max_steps ?max_moves ?self_check ?observer ?sinks
+    (algorithm p) daemon config
 
-let run_naive ?max_steps ?observer p daemon config =
-  Engine.run_naive ?max_steps ?observer (algorithm p) daemon config
+let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks p daemon config =
+  Engine.run_naive ?budget ?max_steps ?max_moves ?observer ?sinks (algorithm p)
+    daemon config
 
 let outputs config = Array.map St.top config.Config.states

@@ -88,20 +88,27 @@ val corrupt_state :
     emulation. *)
 
 val run :
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
+  ?max_moves:int ->
   ?self_check:bool ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
+  ?sinks:('s Trans_state.t, 'i) Ss_sim.Engine.observer list ->
   ('s, 'i) params ->
   Ss_sim.Daemon.t ->
   ('s Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Trans_state.t, 'i) Ss_sim.Engine.stats
 (** Convenience wrapper over {!Ss_sim.Engine.run} (the incremental
     dirty-set engine; [self_check] cross-validates it against a full
-    scan every step). *)
+    scan every step).  All the engine's budget and sink-bus options
+    pass through unchanged. *)
 
 val run_naive :
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
+  ?max_moves:int ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
+  ?sinks:('s Trans_state.t, 'i) Ss_sim.Engine.observer list ->
   ('s, 'i) params ->
   Ss_sim.Daemon.t ->
   ('s Trans_state.t, 'i) Ss_sim.Config.t ->

@@ -64,7 +64,9 @@ let rows ?(seeds = [ 1; 2; 3 ]) rng =
                   (* A step budget: non-stabilizing variants may stall
                      in a live-lock rather than a deadlock. *)
                   let stats =
-                    Engine.run ~max_steps:200_000 algo daemon start
+                    Engine.run
+                      ~budget:(Ss_report.Budget.v ~steps:200_000 ())
+                      algo daemon start
                   in
                   tally.runs <- tally.runs + 1;
                   if stats.Engine.terminated then begin
@@ -79,14 +81,14 @@ let rows ?(seeds = [ 1; 2; 3 ]) rng =
                 (Stabilization.daemon_portfolio seed_rng))
             seeds)
         workloads;
-      Table.add_row table
+      Table.add table
         [
-          name;
-          string_of_int tally.runs;
-          string_of_int tally.terminated;
-          string_of_int tally.legitimate;
-          string_of_int tally.max_moves;
-          string_of_int tally.max_rounds;
+          Table.S name;
+          Table.I tally.runs;
+          Table.I tally.terminated;
+          Table.I tally.legitimate;
+          Table.I tally.max_moves;
+          Table.I tally.max_rounds;
         ])
     variants;
   table

@@ -22,7 +22,11 @@ let naive_worst_case rng g ~root seeds =
           let start =
             Config.make g ~inputs ~states:(fun _ -> 0)
           in
-          let stats = Engine.run ~max_steps:5_000_000 Naive.algo daemon start in
+          let stats =
+            Engine.run
+              ~budget:(Ss_report.Budget.v ~steps:5_000_000 ())
+              Naive.algo daemon start
+          in
           worst_moves := max !worst_moves stats.Engine.moves;
           worst_rounds := max !worst_rounds stats.Engine.rounds;
           ok :=
@@ -73,16 +77,16 @@ let bfs_rows ?(seeds = [ 1; 2 ]) rng =
           (Config.make g ~inputs:(Naive.inputs g ~root ()) ~states:(fun _ -> 0))
       in
       let tm, tr, tok = transformed_worst_case (Rng.split rng) g ~root seeds in
-      Table.add_row table
+      Table.add table
         [
-          name;
-          string_of_int (G.Graph.n g);
-          string_of_int (G.Properties.diameter g);
-          string_of_int nm;
-          string_of_int adv_moves;
-          string_of_int tm;
-          string_of_int tr;
-          (if nok && tok && adv_ok then "yes" else "NO");
+          Table.S name;
+          Table.I (G.Graph.n g);
+          Table.I (G.Properties.diameter g);
+          Table.I nm;
+          Table.I adv_moves;
+          Table.I tm;
+          Table.I tr;
+          Table.S (if nok && tok && adv_ok then "yes" else "NO");
         ])
     workloads;
   table
@@ -117,13 +121,13 @@ let dijkstra_rows ?(seeds = [ 1; 2; 3 ]) rng =
               | None -> closure := false)
             (Stabilization.daemon_portfolio seed_rng))
         seeds;
-      Table.add_row table
+      Table.add table
         [
-          string_of_int n;
-          string_of_int (n + 1);
-          string_of_int !worst_steps;
-          string_of_int !worst_moves;
-          (if !closure then "yes" else "NO");
+          Table.I n;
+          Table.I (n + 1);
+          Table.I !worst_steps;
+          Table.I !worst_moves;
+          Table.S (if !closure then "yes" else "NO");
         ])
     [ 5; 9; 17; 33 ];
   ignore rng;

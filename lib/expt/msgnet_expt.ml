@@ -71,20 +71,22 @@ let rows ?(seeds = [ 1; 2 ]) rng =
                 !ok && stats.M.quiescent
                 && Checker.legitimate_terminal params hist final = Ok ())
             seeds;
-          Table.add_row table
+          (* Typed cells: the printed table and the JSON rows emitted
+             by Run_report.of_table read the same record. *)
+          Table.add table
             [
-              name;
-              string_of_int (G.Graph.n g);
-              enc_name;
-              string_of_int !execs;
-              string_of_int !deliveries;
-              string_of_int !update_bits;
-              string_of_int !proof_bits;
-              string_of_int !request_bits;
-              string_of_int !repair_bits;
-              string_of_int !total;
-              string_of_int !stale;
-              (if !ok then "yes" else "NO");
+              Table.S name;
+              Table.I (G.Graph.n g);
+              Table.S enc_name;
+              Table.I !execs;
+              Table.I !deliveries;
+              Table.I !update_bits;
+              Table.I !proof_bits;
+              Table.I !request_bits;
+              Table.I !repair_bits;
+              Table.I !total;
+              Table.I !stale;
+              Table.S (if !ok then "yes" else "NO");
             ])
         [ ("full", M.Full_state); ("delta", M.Delta) ])
     workloads;

@@ -19,6 +19,11 @@ let leader_scenario rng ?mode ?bound (w : Workloads.t) =
 
 let sync_time sc = (Stabilization.history sc).Sync_runner.t
 
+(* Rows are built from typed cells (Table.S / Table.I) so the text
+   renderer and the JSON serializer (Run_report.of_table) read the very
+   same record — the machine-readable output cannot drift from the
+   printed table. *)
+
 let lazy_rows ?(seeds = default_seeds) rng =
   let table =
     Table.create
@@ -31,18 +36,19 @@ let lazy_rows ?(seeds = default_seeds) rng =
       let sc = leader_scenario (Rng.split rng) w in
       let t = sync_time sc in
       let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
-      Table.add_row table
+      Table.add table
         [
-          w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int w.Workloads.diameter;
-          string_of_int t;
-          string_of_int agg.Measure.max_moves;
-          string_of_int ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
-                         + (w.Workloads.n * t));
-          string_of_int agg.Measure.max_rounds;
-          string_of_int (w.Workloads.diameter + t);
-          (if agg.Measure.all_legitimate then "yes" else "NO");
+          Table.S w.Workloads.family;
+          Table.I w.Workloads.n;
+          Table.I w.Workloads.diameter;
+          Table.I t;
+          Table.I agg.Measure.max_moves;
+          Table.I
+            ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+            + (w.Workloads.n * t));
+          Table.I agg.Measure.max_rounds;
+          Table.I (w.Workloads.diameter + t);
+          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
         ])
     (Workloads.standard rng);
   table
@@ -64,16 +70,16 @@ let greedy_rows ?(seeds = default_seeds) rng =
       }
     in
     let agg = Measure.worst_case ~seeds ~max_height:b sc in
-    Table.add_row table
+    Table.add table
       [
-        Printf.sprintf "clock(T=%d)" k;
-        string_of_int n;
-        string_of_int k;
-        string_of_int b;
-        string_of_int agg.Measure.max_moves;
-        string_of_int ((n * n * n) + (n * b));
-        string_of_int agg.Measure.max_rounds;
-        (if agg.Measure.all_legitimate then "yes" else "NO");
+        Table.S (Printf.sprintf "clock(T=%d)" k);
+        Table.I n;
+        Table.I k;
+        Table.I b;
+        Table.I agg.Measure.max_moves;
+        Table.I ((n * n * n) + (n * b));
+        Table.I agg.Measure.max_rounds;
+        Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
       ]
   in
   List.iter (fun b -> clock_row 16 8 b) [ 8; 16; 32; 64 ];
@@ -88,17 +94,18 @@ let greedy_rows ?(seeds = default_seeds) rng =
         leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w
       in
       let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add_row table
+      Table.add table
         [
-          "leader/" ^ w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int t;
-          string_of_int b;
-          string_of_int agg.Measure.max_moves;
-          string_of_int ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
-                         + (w.Workloads.n * b));
-          string_of_int agg.Measure.max_rounds;
-          (if agg.Measure.all_legitimate then "yes" else "NO");
+          Table.S ("leader/" ^ w.Workloads.family);
+          Table.I w.Workloads.n;
+          Table.I t;
+          Table.I b;
+          Table.I agg.Measure.max_moves;
+          Table.I
+            ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+            + (w.Workloads.n * b));
+          Table.I agg.Measure.max_rounds;
+          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
         ])
     (Workloads.rings [ 8; 16; 32 ]);
   table
@@ -117,16 +124,16 @@ let recovery_rows ?(seeds = default_seeds) rng =
       let sc = leader_scenario (Rng.split rng) w in
       let t = sync_time sc in
       let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
-      Table.add_row table
+      Table.add table
         [
-          "leader/" ^ w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int w.Workloads.diameter;
-          "inf";
-          string_of_int agg.Measure.max_recovery_rounds;
-          string_of_int w.Workloads.diameter;
-          string_of_int agg.Measure.max_recovery_moves;
-          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+          Table.S ("leader/" ^ w.Workloads.family);
+          Table.I w.Workloads.n;
+          Table.I w.Workloads.diameter;
+          Table.S "inf";
+          Table.I agg.Measure.max_recovery_rounds;
+          Table.I w.Workloads.diameter;
+          Table.I agg.Measure.max_recovery_moves;
+          Table.I (w.Workloads.n * w.Workloads.n * w.Workloads.n);
         ])
     (Workloads.diameter_sweep ());
   (* The B < D regime: a short clock on a long path — recovery is
@@ -145,16 +152,16 @@ let recovery_rows ?(seeds = default_seeds) rng =
         }
       in
       let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add_row table
+      Table.add table
         [
-          Printf.sprintf "clock(B=%d)/path" b;
-          string_of_int n;
-          string_of_int d;
-          string_of_int b;
-          string_of_int agg.Measure.max_recovery_rounds;
-          string_of_int (min d b);
-          string_of_int agg.Measure.max_recovery_moves;
-          string_of_int (min (n * n * n) (n * n * b));
+          Table.S (Printf.sprintf "clock(B=%d)/path" b);
+          Table.I n;
+          Table.I d;
+          Table.I b;
+          Table.I agg.Measure.max_recovery_rounds;
+          Table.I (min d b);
+          Table.I agg.Measure.max_recovery_moves;
+          Table.I (min (n * n * n) (n * n * b));
         ])
     [ 16; 32; 64 ];
   table
@@ -175,15 +182,15 @@ let space_rows ?(seeds = default_seeds) rng =
         Sync_runner.max_state_bits sc.Stabilization.params.Transformer.sync hist
       in
       let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add_row table
+      Table.add table
         [
-          "leader/" ^ w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int b;
-          string_of_int s;
-          string_of_int (b * s);
-          string_of_int agg.Measure.max_space_bits;
-          (if agg.Measure.all_legitimate then "yes" else "NO");
+          Table.S ("leader/" ^ w.Workloads.family);
+          Table.I w.Workloads.n;
+          Table.I b;
+          Table.I s;
+          Table.I (b * s);
+          Table.I agg.Measure.max_space_bits;
+          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
         ])
     (Workloads.standard rng |> List.filteri (fun i _ -> i mod 3 = 0));
   table

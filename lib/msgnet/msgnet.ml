@@ -6,6 +6,8 @@ module St = Ss_core.Trans_state
 module Transformer = Ss_core.Transformer
 module Energy = Ss_energy.Energy
 module Rng = Ss_prelude.Rng
+module Budget = Ss_report.Budget
+module Run_report = Ss_report.Run_report
 
 type encoding = Full_state | Delta
 
@@ -17,6 +19,15 @@ type 's message =
   | Proof of int64 * int64  (* hash, wave nonce *)
   | Request
   | Full_copy of 's St.t
+
+type msg_kind = K_update | K_proof | K_request | K_full_copy
+
+type event =
+  | Sent of { src : int; dst : int; kind : msg_kind; bits : int }
+  | Delivered of { src : int; dst : int; kind : msg_kind }
+  | Wave of { nonce : int }
+
+type sink = event -> unit
 
 type stats = {
   deliveries : int;
@@ -31,6 +42,7 @@ type stats = {
   full_copy_bits : int;
   proof_waves : int;
   quiescent : bool;
+  outcome : Budget.outcome;
 }
 
 let total_bits s =
@@ -84,20 +96,37 @@ let apply_delta mirror = function
   | D_rc -> St.with_status mirror St.C
   | D_ru s -> St.extend mirror s
 
-let delta_message_bits params new_state = function
+(* A delta's wire size is derivable from the delta alone: D_ru carries
+   the new top cell, whose size is the sync algorithm's state_bits. *)
+let delta_bits params = function
   | D_rr | D_rc -> 2
   | D_rp _ -> 2 + Energy.height_bits params.Transformer.bound
-  | D_ru _ ->
-      2 + params.Transformer.sync.Sync_algo.state_bits (St.top new_state)
+  | D_ru s -> 2 + params.Transformer.sync.Sync_algo.state_bits s
 
-let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
+let kind_of_message = function
+  | Update_full _ | Update_delta _ -> K_update
+  | Proof _ -> K_proof
+  | Request -> K_request
+  | Full_copy _ -> K_full_copy
+
+let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     ?(proof = Energy.default_proof_cost) ?heartbeat_every ~rng
-    ?(corrupt_mirrors = true) params config =
+    ?(corrupt_mirrors = true) ?(sinks = []) params config =
   let g = config.Config.graph in
   let n = Config.n config in
   let sync = params.Transformer.sync in
   let algo = Transformer.algorithm params in
   let states = Array.copy config.Config.states in
+  (* Unified budget: the event cap (one delivery per event, so
+     [stats.deliveries] never exceeds it) resolves against the legacy
+     [max_events]; the deadline is checked once per event. *)
+  let b = Option.value budget ~default:Budget.unlimited in
+  let max_events =
+    Budget.resolve ~default:2_000_000 max_events b.Budget.deliveries
+  in
+  let deadline = Budget.deadline_check b in
+  let observing = sinks <> [] in
+  let emit ev = List.iter (fun s -> s ev) sinks in
   (* Proof pre-image: a structural binary dump, an order of magnitude
      cheaper than pretty-printing and injective for the plain-data
      states the sync algorithms use. *)
@@ -206,9 +235,27 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
     if indexed then chan_q.(cid)
     else chan_q.(Hashtbl.find naive_channels (chan_src.(cid), chan_dst.(cid)))
   in
+  (* One wire-size accounting for every message kind, shared by the
+     counters and the event sinks. *)
+  let message_bits = function
+    | Update_full s -> Energy.full_state_bits sync s
+    | Update_delta d -> delta_bits params d
+    | Proof _ -> proof_msg_bits
+    | Request -> Energy.request_message_bits
+    | Full_copy s -> Energy.full_state_bits sync s
+  in
   let send cid msg =
     let q = chan_queue cid in
     if indexed && Queue.is_empty q then Chanset.add active cid;
+    if observing then
+      emit
+        (Sent
+           {
+             src = chan_src.(cid);
+             dst = chan_dst.(cid);
+             kind = kind_of_message msg;
+             bits = message_bits msg;
+           });
     Queue.push msg q
   in
 
@@ -236,15 +283,13 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
     Array.iteri
       (fun i _u ->
         c.update_messages <- c.update_messages + 1;
-        match encoding with
-        | Full_state ->
-            c.update_bits <-
-              c.update_bits + Energy.full_state_bits sync new_state;
-            send chan_of.(v).(i) (Update_full new_state)
-        | Delta ->
-            let d = delta_of_move rule_name new_state in
-            c.update_bits <- c.update_bits + delta_message_bits params new_state d;
-            send chan_of.(v).(i) (Update_delta d))
+        let msg =
+          match encoding with
+          | Full_state -> Update_full new_state
+          | Delta -> Update_delta (delta_of_move rule_name new_state)
+        in
+        c.update_bits <- c.update_bits + message_bits msg;
+        send chan_of.(v).(i) msg)
       nbrs
   in
 
@@ -290,6 +335,9 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
     if indexed && Queue.is_empty q then Chanset.remove active cid;
     c.deliveries <- c.deliveries + 1;
     let v = chan_dst.(cid) in
+    if observing then
+      emit
+        (Delivered { src = chan_src.(cid); dst = v; kind = kind_of_message msg });
     (* The naive path re-derives the receiver-side port with the O(deg)
        scan the original code paid per delivery. *)
     let port =
@@ -345,6 +393,7 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
     nonce := Int64.add !nonce 1L;
     c.proof_waves <- c.proof_waves + 1;
     c.requests_in_wave <- 0;
+    if observing then emit (Wave { nonce = Int64.to_int !nonce });
     Graph.iter_nodes g (fun v ->
         let h = Energy.state_proof ~nonce:!nonce (serialize_state v) in
         Array.iter
@@ -356,7 +405,8 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
   in
 
   let rec loop events =
-    if events >= max_events then false
+    if events >= max_events then Budget.Tripped Budget.Deliveries
+    else if deadline () then Budget.Tripped Budget.Deadline
     else begin
       (* Periodic heartbeat: without it, delta updates applied to a
          corrupted mirror would keep it wrong forever and the system
@@ -379,14 +429,15 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
                  if the wave verified every mirror (no request), the
                  states are terminal for the atomic-state transformer;
                  otherwise heartbeat. *)
-              if c.proof_waves > 0 && c.requests_in_wave = 0 then true
+              if c.proof_waves > 0 && c.requests_in_wave = 0 then
+                Budget.Completed
               else begin
                 proof_wave ();
                 loop (events + 1)
               end)
     end
   in
-  let quiescent = loop 0 in
+  let outcome = loop 0 in
   let stats =
     {
       deliveries = c.deliveries;
@@ -400,17 +451,36 @@ let run_impl ~indexed ?(encoding = Delta) ?(max_events = 2_000_000)
       full_copy_messages = c.full_copy_messages;
       full_copy_bits = c.full_copy_bits;
       proof_waves = c.proof_waves;
-      quiescent;
+      quiescent = outcome = Budget.Completed;
+      outcome;
     }
   in
   (Config.with_states config states, stats)
 
-let run ?encoding ?max_events ?proof ?heartbeat_every ~rng ?corrupt_mirrors
-    params config =
-  run_impl ~indexed:true ?encoding ?max_events ?proof ?heartbeat_every ~rng
-    ?corrupt_mirrors params config
+let run ?encoding ?budget ?max_events ?proof ?heartbeat_every ~rng
+    ?corrupt_mirrors ?sinks params config =
+  run_impl ~indexed:true ?encoding ?budget ?max_events ?proof ?heartbeat_every
+    ~rng ?corrupt_mirrors ?sinks params config
 
-let run_naive ?encoding ?max_events ?proof ?heartbeat_every ~rng
-    ?corrupt_mirrors params config =
-  run_impl ~indexed:false ?encoding ?max_events ?proof ?heartbeat_every ~rng
-    ?corrupt_mirrors params config
+let run_naive ?encoding ?budget ?max_events ?proof ?heartbeat_every ~rng
+    ?corrupt_mirrors ?sinks params config =
+  run_impl ~indexed:false ?encoding ?budget ?max_events ?proof ?heartbeat_every
+    ~rng ?corrupt_mirrors ?sinks params config
+
+let report ?(label = "msgnet-run") ?seed ?wall_s (s : stats) =
+  Run_report.v ?seed ?wall_s ~outcome:s.outcome label
+    (Run_report.Msgnet
+       {
+         Run_report.deliveries = s.deliveries;
+         rule_executions = s.rule_executions;
+         update_messages = s.update_messages;
+         update_bits = s.update_bits;
+         proof_messages = s.proof_messages;
+         proof_bits = s.proof_bits;
+         stale_proof_messages = s.stale_proof_messages;
+         request_messages = s.request_messages;
+         full_copy_messages = s.full_copy_messages;
+         full_copy_bits = s.full_copy_bits;
+         proof_waves = s.proof_waves;
+         total_bits = total_bits s;
+       })

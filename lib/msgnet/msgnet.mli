@@ -47,6 +47,24 @@ type encoding =
   | Full_state  (** Every update carries the whole state. *)
   | Delta  (** Updates carry rule label + payload (§6). *)
 
+type msg_kind = K_update | K_proof | K_request | K_full_copy
+(** Wire-level message class, as seen by event sinks. *)
+
+type event =
+  | Sent of { src : int; dst : int; kind : msg_kind; bits : int }
+      (** A message was enqueued on the [src → dst] channel; [bits] is
+          its wire size, the same figure the [stats] bit counters
+          accumulate. *)
+  | Delivered of { src : int; dst : int; kind : msg_kind }
+      (** The head of the [src → dst] channel was delivered. *)
+  | Wave of { nonce : int }  (** A proof wave started. *)
+
+type sink = event -> unit
+(** A sink on the protocol's event stream.  Same purity contract as
+    {!Ss_sim.Engine.observer} (DESIGN.md §9): sinks observe, they must
+    not mutate protocol state.  When no sink is registered the event
+    loop allocates no events. *)
+
 type stats = {
   deliveries : int;  (** Total messages delivered. *)
   rule_executions : int;  (** Moves taken by nodes (on possibly stale views). *)
@@ -63,7 +81,12 @@ type stats = {
   full_copy_messages : int;
   full_copy_bits : int;
   proof_waves : int;  (** Timer- and quiescence-triggered proof waves. *)
-  quiescent : bool;  (** Reached verified quiescence within the budget. *)
+  quiescent : bool;  (** Reached verified quiescence within the budget.
+                         Equivalent to [outcome = Completed]. *)
+  outcome : Ss_report.Budget.outcome;
+      (** [Completed] on verified quiescence, [Tripped Deliveries] when
+          the event cap ran out, [Tripped Deadline] on the wall-clock
+          limit. *)
 }
 
 val total_bits : stats -> int
@@ -72,11 +95,13 @@ val total_bits : stats -> int
 
 val run :
   ?encoding:encoding ->
+  ?budget:Ss_report.Budget.t ->
   ?max_events:int ->
   ?proof:Ss_energy.Energy.proof_cost ->
   ?heartbeat_every:int ->
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
+  ?sinks:sink list ->
   ('s, 'i) Ss_core.Transformer.params ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
@@ -93,7 +118,12 @@ val run :
     becomes unreachable: the default scales with the network, and
     explicit values near [2m] are stress settings that converge slowly
     (or, below [2m], not at all).
-    Defaults: [encoding = Delta], [max_events = 2_000_000],
+
+    The unified [budget] composes with the historical [max_events] —
+    the tightest provided limit wins; [budget.deliveries] caps events
+    (each event delivers at most one message, so [stats.deliveries]
+    never exceeds it), and [budget.deadline_s] is checked once per
+    event.  Defaults: [encoding = Delta], event cap [2_000_000],
     [proof = Energy.default_proof_cost] (64-bit hash + 64-bit nonce).
     Returns the final true states and the traffic/work accounting.
 
@@ -103,11 +133,13 @@ val run :
 
 val run_naive :
   ?encoding:encoding ->
+  ?budget:Ss_report.Budget.t ->
   ?max_events:int ->
   ?proof:Ss_energy.Energy.proof_cost ->
   ?heartbeat_every:int ->
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
+  ?sinks:sink list ->
   ('s, 'i) Ss_core.Transformer.params ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
@@ -120,3 +152,12 @@ val run_naive :
     differently from {!run}, so the two produce different (equally
     valid) interleavings; both must reach the same terminal states.
     Kept for differential testing and benchmarking. *)
+
+val report :
+  ?label:string ->
+  ?seed:int ->
+  ?wall_s:float ->
+  stats ->
+  Ss_report.Run_report.t
+(** The run's summary as a structured {!Ss_report.Run_report.t} (kind
+    ["msgnet"]): the full traffic accounting plus {!total_bits}. *)

@@ -1,11 +1,16 @@
-type t = { headers : string list; mutable rows : string list list }
+type cell = S of string | I of int
+type t = { headers : string list; mutable rev_rows : cell list list }
 
-let create headers = { headers; rows = [] }
-let add_row t cells = t.rows <- cells :: t.rows
-let add_int_row t label xs = add_row t (label :: List.map string_of_int xs)
+let create headers = { headers; rev_rows = [] }
+let add t cells = t.rev_rows <- cells :: t.rev_rows
+let add_row t cells = add t (List.map (fun c -> S c) cells)
+let add_int_row t label xs = add t (S label :: List.map (fun x -> I x) xs)
+let headers t = t.headers
+let rows t = List.rev t.rev_rows
+let cell_text = function S s -> s | I i -> string_of_int i
 
 let widths t =
-  let all = t.headers :: List.rev t.rows in
+  let all = t.headers :: List.rev_map (List.map cell_text) t.rev_rows in
   let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let w = Array.make ncols 0 in
   let feed row =
@@ -32,7 +37,9 @@ let render ppf t =
     String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
   in
   Format.fprintf ppf "%s@." rule;
-  List.iter (fun r -> Format.fprintf ppf "%s@." (line r)) (List.rev t.rows)
+  List.iter
+    (fun r -> Format.fprintf ppf "%s@." (line (List.map cell_text r)))
+    (rows t)
 
 let print t =
   render Format.std_formatter t;

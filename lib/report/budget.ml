@@ -1,0 +1,46 @@
+type t = {
+  steps : int option;
+  moves : int option;
+  deliveries : int option;
+  deadline_s : float option;
+}
+
+let unlimited = { steps = None; moves = None; deliveries = None; deadline_s = None }
+
+let v ?steps ?moves ?deliveries ?deadline_s () =
+  { steps; moves; deliveries; deadline_s }
+
+type limit = Steps | Moves | Deliveries | Deadline
+type outcome = Completed | Tripped of limit
+
+let resolve ~default legacy budget =
+  match (legacy, budget) with
+  | None, None -> default
+  | Some a, None -> a
+  | None, Some b -> b
+  | Some a, Some b -> min a b
+
+let deadline_check t =
+  match t.deadline_s with
+  | None -> fun () -> false
+  | Some allowance ->
+      let t0 = Sys.time () in
+      fun () -> Sys.time () -. t0 >= allowance
+
+let limit_to_string = function
+  | Steps -> "steps"
+  | Moves -> "moves"
+  | Deliveries -> "deliveries"
+  | Deadline -> "deadline"
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Tripped l -> limit_to_string l
+
+let outcome_of_string = function
+  | "completed" -> Ok Completed
+  | "steps" -> Ok (Tripped Steps)
+  | "moves" -> Ok (Tripped Moves)
+  | "deliveries" -> Ok (Tripped Deliveries)
+  | "deadline" -> Ok (Tripped Deadline)
+  | s -> Error ("unknown outcome: " ^ s)

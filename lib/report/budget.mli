@@ -1,0 +1,62 @@
+(** Unified execution budgets across the three run loops.
+
+    Every loop of the system — {!Ss_sim.Engine.run} (atomic-state
+    steps/moves), {!Ss_sync.Sync_runner.run} (synchronous rounds) and
+    {!Ss_msgnet.Msgnet.run} (message deliveries) — historically had
+    its own ad-hoc cap arguments.  A [Budget.t] expresses all of them
+    in one record, and {!outcome} is the single "which limit tripped"
+    answer every loop reports.
+
+    Semantics are {e conjunctive}: an execution stops at the first
+    limit it reaches.  A field left [None] is unlimited.  Loops that
+    also take their historical optional arguments combine them with
+    the budget via {!resolve} — the {e tightest} provided limit wins,
+    so a budget can only ever shrink an execution, never extend one
+    past an explicit legacy cap. *)
+
+type t = {
+  steps : int option;
+      (** Daemon steps ({!Ss_sim.Engine}) or synchronous rounds
+          ({!Ss_sync.Sync_runner}) — the loop's coarse iteration count. *)
+  moves : int option;
+      (** Hard cap on rule executions; never overshot (the engine
+          truncates the budget-crossing selection to a prefix). *)
+  deliveries : int option;
+      (** Cap on message-network events; since each event delivers at
+          most one message, [stats.deliveries] never exceeds it. *)
+  deadline_s : float option;
+      (** Wall-clock allowance in seconds (monotonic within a run;
+          measured with [Sys.time], i.e. processor time, so budgets
+          stay deterministic under machine load). *)
+}
+
+val unlimited : t
+(** No limit on anything. *)
+
+val v :
+  ?steps:int -> ?moves:int -> ?deliveries:int -> ?deadline_s:float -> unit -> t
+(** Budget with the given limits; omitted fields are unlimited. *)
+
+type limit = Steps | Moves | Deliveries | Deadline
+
+type outcome =
+  | Completed  (** The loop reached its natural end (terminal
+          configuration, fixpoint, or verified quiescence). *)
+  | Tripped of limit  (** The named budget limit cut the run short. *)
+
+val resolve : default:int -> int option -> int option -> int
+(** [resolve ~default legacy budget] is the effective integer cap:
+    the minimum of the provided limits, or [default] when both are
+    [None]. *)
+
+val deadline_check : t -> unit -> bool
+(** [deadline_check t] starts the clock now and returns a predicate
+    that turns [true] once the deadline has passed.  Constant [false]
+    (and free of clock reads) when no deadline is set. *)
+
+val limit_to_string : limit -> string
+val outcome_to_string : outcome -> string
+(** ["completed"], ["steps"], ["moves"], ["deliveries"], ["deadline"] —
+    the wire encoding used by {!Run_report}. *)
+
+val outcome_of_string : string -> (outcome, string) result

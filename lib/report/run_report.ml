@@ -1,0 +1,225 @@
+type engine_stats = {
+  steps : int;
+  moves : int;
+  rounds : int;
+  moves_per_rule : (string * int) list;
+}
+
+type sync_stats = { sync_rounds : int; nodes : int }
+
+type msgnet_stats = {
+  deliveries : int;
+  rule_executions : int;
+  update_messages : int;
+  update_bits : int;
+  proof_messages : int;
+  proof_bits : int;
+  stale_proof_messages : int;
+  request_messages : int;
+  full_copy_messages : int;
+  full_copy_bits : int;
+  proof_waves : int;
+  total_bits : int;
+}
+
+type body = Engine of engine_stats | Sync of sync_stats | Msgnet of msgnet_stats
+
+type t = {
+  label : string;
+  seed : int option;
+  wall_s : float;
+  outcome : Budget.outcome;
+  body : body;
+}
+
+let v ?seed ?(wall_s = 0.) ?(outcome = Budget.Completed) label body =
+  { label; seed; wall_s; outcome; body }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_engine (e : engine_stats) =
+  Json.Obj
+    [
+      ("steps", Json.Int e.steps);
+      ("moves", Json.Int e.moves);
+      ("rounds", Json.Int e.rounds);
+      ( "moves_per_rule",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) e.moves_per_rule) );
+    ]
+
+let json_of_sync (s : sync_stats) =
+  Json.Obj
+    [ ("sync_rounds", Json.Int s.sync_rounds); ("nodes", Json.Int s.nodes) ]
+
+let json_of_msgnet (m : msgnet_stats) =
+  Json.Obj
+    [
+      ("deliveries", Json.Int m.deliveries);
+      ("rule_executions", Json.Int m.rule_executions);
+      ("update_messages", Json.Int m.update_messages);
+      ("update_bits", Json.Int m.update_bits);
+      ("proof_messages", Json.Int m.proof_messages);
+      ("proof_bits", Json.Int m.proof_bits);
+      ("stale_proof_messages", Json.Int m.stale_proof_messages);
+      ("request_messages", Json.Int m.request_messages);
+      ("full_copy_messages", Json.Int m.full_copy_messages);
+      ("full_copy_bits", Json.Int m.full_copy_bits);
+      ("proof_waves", Json.Int m.proof_waves);
+      ("total_bits", Json.Int m.total_bits);
+    ]
+
+let to_json t =
+  let kind, stats =
+    match t.body with
+    | Engine e -> ("engine", json_of_engine e)
+    | Sync s -> ("sync", json_of_sync s)
+    | Msgnet m -> ("msgnet", json_of_msgnet m)
+  in
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ("seed", match t.seed with Some s -> Json.Int s | None -> Json.Null);
+      ("wall_s", Json.Float t.wall_s);
+      ("outcome", Json.String (Budget.outcome_to_string t.outcome));
+      ("kind", Json.String kind);
+      ("stats", stats);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name json =
+  let* v = field name json in
+  Json.to_int v
+
+let str_field name json =
+  let* v = field name json in
+  Json.to_str v
+
+let engine_of_json json =
+  let* steps = int_field "steps" json in
+  let* moves = int_field "moves" json in
+  let* rounds = int_field "rounds" json in
+  let* mpr = field "moves_per_rule" json in
+  let* moves_per_rule =
+    match mpr with
+    | Json.Obj fields ->
+        List.fold_left
+          (fun acc (r, v) ->
+            let* acc = acc in
+            let* n = Json.to_int v in
+            Ok ((r, n) :: acc))
+          (Ok []) fields
+        |> Result.map List.rev
+    | _ -> Error "moves_per_rule must be an object"
+  in
+  Ok (Engine { steps; moves; rounds; moves_per_rule })
+
+let sync_of_json json =
+  let* sync_rounds = int_field "sync_rounds" json in
+  let* nodes = int_field "nodes" json in
+  Ok (Sync { sync_rounds; nodes })
+
+let msgnet_of_json json =
+  let* deliveries = int_field "deliveries" json in
+  let* rule_executions = int_field "rule_executions" json in
+  let* update_messages = int_field "update_messages" json in
+  let* update_bits = int_field "update_bits" json in
+  let* proof_messages = int_field "proof_messages" json in
+  let* proof_bits = int_field "proof_bits" json in
+  let* stale_proof_messages = int_field "stale_proof_messages" json in
+  let* request_messages = int_field "request_messages" json in
+  let* full_copy_messages = int_field "full_copy_messages" json in
+  let* full_copy_bits = int_field "full_copy_bits" json in
+  let* proof_waves = int_field "proof_waves" json in
+  let* total_bits = int_field "total_bits" json in
+  Ok
+    (Msgnet
+       {
+         deliveries;
+         rule_executions;
+         update_messages;
+         update_bits;
+         proof_messages;
+         proof_bits;
+         stale_proof_messages;
+         request_messages;
+         full_copy_messages;
+         full_copy_bits;
+         proof_waves;
+         total_bits;
+       })
+
+let of_json json =
+  let* label = str_field "label" json in
+  let* seed =
+    let* v = field "seed" json in
+    match v with
+    | Json.Null -> Ok None
+    | Json.Int s -> Ok (Some s)
+    | _ -> Error "seed must be int or null"
+  in
+  let* wall_s =
+    let* v = field "wall_s" json in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error "wall_s must be a number"
+  in
+  let* outcome =
+    let* s = str_field "outcome" json in
+    Budget.outcome_of_string s
+  in
+  let* kind = str_field "kind" json in
+  let* stats = field "stats" json in
+  let* body =
+    match kind with
+    | "engine" -> engine_of_json stats
+    | "sync" -> sync_of_json stats
+    | "msgnet" -> msgnet_of_json stats
+    | k -> Error ("unknown report kind: " ^ k)
+  in
+  Ok { label; seed; wall_s; outcome; body }
+
+(* ------------------------------------------------------------------ *)
+(* Table serializer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let of_table ?label table =
+  let module T = Ss_prelude.Table in
+  let headers = T.headers table in
+  let cell = function T.S s -> Json.String s | T.I i -> Json.Int i in
+  let row cells =
+    (* Shorter rows are padded with empty cells and longer rows extend
+       the width, mirroring the text renderer. *)
+    let ncols = max (List.length headers) (List.length cells) in
+    let key i =
+      match List.nth_opt headers i with
+      | Some h -> h
+      | None -> Printf.sprintf "col%d" i
+    in
+    Json.Obj
+      (List.init ncols (fun i ->
+           ( key i,
+             match List.nth_opt cells i with
+             | Some c -> cell c
+             | None -> Json.String "" )))
+  in
+  Json.Obj
+    ((match label with
+     | Some l -> [ ("table", Json.String l) ]
+     | None -> [])
+    @ [
+        ("headers", Json.List (List.map (fun h -> Json.String h) headers));
+        ("rows", Json.List (List.map row (T.rows table)));
+      ])

@@ -1,0 +1,71 @@
+(** Structured run reports — one record per execution, one wire
+    format for every loop.
+
+    The three execution loops (atomic-state engine, synchronous
+    runner, message network) produce differently-shaped statistics;
+    a [Run_report.t] embeds any of them together with the metadata
+    every experiment needs (label, RNG seed, wall time, budget
+    {!Budget.outcome}).  {!to_json}/{!of_json} are exact inverses —
+    pinned by round-trip tests — so reports can be archived, diffed
+    and re-read across PRs.
+
+    {!of_table} is the companion serializer for experiment tables:
+    it reads the {e same} {!Ss_prelude.Table.t} the text renderer
+    prints, so JSON rows and text rows cannot disagree. *)
+
+type engine_stats = {
+  steps : int;
+  moves : int;
+  rounds : int;
+  moves_per_rule : (string * int) list;
+}
+
+type sync_stats = {
+  sync_rounds : int;  (** Execution time [T] (rounds to fixpoint). *)
+  nodes : int;
+}
+
+type msgnet_stats = {
+  deliveries : int;
+  rule_executions : int;
+  update_messages : int;
+  update_bits : int;
+  proof_messages : int;
+  proof_bits : int;
+  stale_proof_messages : int;
+  request_messages : int;
+  full_copy_messages : int;
+  full_copy_bits : int;
+  proof_waves : int;
+  total_bits : int;
+}
+
+type body =
+  | Engine of engine_stats
+  | Sync of sync_stats
+  | Msgnet of msgnet_stats
+
+type t = {
+  label : string;  (** What ran (algorithm / workload / bench name). *)
+  seed : int option;  (** RNG seed, when the run was seeded. *)
+  wall_s : float;  (** Wall-clock duration of the run, seconds. *)
+  outcome : Budget.outcome;
+      (** [Completed], or the budget limit that tripped. *)
+  body : body;
+}
+
+val v :
+  ?seed:int -> ?wall_s:float -> ?outcome:Budget.outcome -> string -> body -> t
+(** [v label body] with defaults [wall_s = 0.], [outcome = Completed]. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Exact inverses: [of_json (to_json r) = Ok r]. *)
+
+val of_table : ?label:string -> Ss_prelude.Table.t -> Json.t
+(** The unified table serializer: a JSON object
+    [{"table": label?, "headers": [...], "rows": [{col: cell}, ...]}]
+    whose rows are keyed by header and whose cells come from the same
+    typed {!Ss_prelude.Table.cell}s the text renderer prints —
+    integer cells become JSON ints, text cells JSON strings, so
+    rendered content is byte-identical between the two emitters. *)

@@ -1,3 +1,6 @@
+module Budget = Ss_report.Budget
+module Run_report = Ss_report.Run_report
+
 exception Invalid_selection of string
 exception Divergence of string
 
@@ -7,12 +10,29 @@ type ('s, 'i) stats = {
   moves : int;
   rounds : int;
   terminated : bool;
+  outcome : Budget.outcome;
   moves_per_node : int array;
   moves_per_rule : (string * int) list;
 }
 
 type ('s, 'i) observer =
   step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
+
+let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
+
+let tee = function
+  | [] -> no_observer
+  | [ o ] -> o
+  | os ->
+      fun ~step ~rounds ~moved config ->
+        List.iter (fun o -> o ~step ~rounds ~moved config) os
+
+(* One bus for the optional single observer, the sink list, and any
+   internal sinks (self-check): everyone sees the same events in the
+   same order. *)
+let bus ?observer ?(sinks = []) internal =
+  let user = match observer with Some o -> o :: sinks | None -> sinks in
+  tee (user @ internal)
 
 let validate_with config ~is_enabled selected =
   if selected = [] then raise (Invalid_selection "daemon selected no node");
@@ -61,15 +81,21 @@ let step algo config selected =
     ~rule_of:(fun p -> Algorithm.enabled_rule algo (Config.view config p))
     selected
 
-let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
-
 (* Hard move budget: activating a full selection could overshoot
-   [max_moves] by up to n-1 moves (the bound used to be checked only
+   the move cap by up to n-1 moves (the bound used to be checked only
    between steps), so the final, budget-crossing step executes only a
    prefix of the daemon's selection, in the daemon's order. *)
 let cap_selection ~budget selected =
   if List.length selected <= budget then selected
   else List.filteri (fun i _ -> i < budget) selected
+
+(* The three integer/clock limits of one run, resolved from the unified
+   budget plus the historical optional arguments (tightest wins). *)
+let limits ?budget ?max_steps ?max_moves () =
+  let b = Option.value budget ~default:Budget.unlimited in
+  ( Budget.resolve ~default:10_000_000 max_steps b.Budget.steps,
+    Budget.resolve ~default:max_int max_moves b.Budget.moves,
+    Budget.deadline_check b )
 
 (* Shared per-run accounting: per-node and per-rule move counters and
    the final stats record. *)
@@ -81,13 +107,14 @@ let make_counters n =
     Hashtbl.replace rule_counts r
       (1 + Option.value ~default:0 (Hashtbl.find_opt rule_counts r))
   in
-  let finish algo tracker (final, steps, moves, terminated) =
+  let finish algo tracker (final, steps, moves, outcome) =
     {
       final;
       steps;
       moves;
       rounds = Rounds.completed tracker;
-      terminated;
+      terminated = outcome = Budget.Completed;
+      outcome;
       moves_per_node;
       moves_per_rule =
         List.map
@@ -97,28 +124,33 @@ let make_counters n =
   in
   (note_move, finish)
 
-let run ?(max_steps = 10_000_000) ?(max_moves = max_int) ?(self_check = false)
-    ?(observer = no_observer) algo daemon config =
+let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks
+    algo daemon config =
+  let max_steps, max_moves, deadline = limits ?budget ?max_steps ?max_moves () in
   let note_move, finish = make_counters (Config.n config) in
   let sched = Sched.create algo config in
-  let cross_check config =
-    if self_check then begin
-      let incr = Sched.enabled sched in
-      let naive = Config.enabled_nodes algo config in
-      if incr <> naive then
-        raise
-          (Divergence
-             (Printf.sprintf
-                "incremental enabled set {%s} disagrees with full scan {%s}"
-                (String.concat "," (List.map string_of_int incr))
-                (String.concat "," (List.map string_of_int naive))))
-    end
+  (* Divergence checking is just another sink on the bus: it reads the
+     configuration each event reaches and compares the incrementally
+     maintained enabled set against a full naive scan. *)
+  let check_sink ~step:_ ~rounds:_ ~moved:_ config =
+    let incr = Sched.enabled sched in
+    let naive = Config.enabled_nodes algo config in
+    if incr <> naive then
+      raise
+        (Divergence
+           (Printf.sprintf
+              "incremental enabled set {%s} disagrees with full scan {%s}"
+              (String.concat "," (List.map string_of_int incr))
+              (String.concat "," (List.map string_of_int naive))))
   in
-  cross_check config;
+  let emit = bus ?observer ?sinks (if self_check then [ check_sink ] else []) in
   let rec loop config steps moves tracker =
-    if Sched.no_enabled sched then (config, steps, moves, true)
-    else if steps >= max_steps || moves >= max_moves then
-      (config, steps, moves, false)
+    if Sched.no_enabled sched then (config, steps, moves, Budget.Completed)
+    else if moves >= max_moves then
+      (config, steps, moves, Budget.Tripped Budget.Moves)
+    else if steps >= max_steps then
+      (config, steps, moves, Budget.Tripped Budget.Steps)
+    else if deadline () then (config, steps, moves, Budget.Tripped Budget.Deadline)
     else begin
       let enabled = Sched.enabled sched in
       let selected = daemon.Daemon.select ~step:steps ~enabled in
@@ -130,26 +162,29 @@ let run ?(max_steps = 10_000_000) ?(max_moves = max_int) ?(self_check = false)
       List.iter note_move moved;
       let moved_nodes = List.map fst moved in
       Sched.update sched config' ~moved:moved_nodes;
-      cross_check config';
       Rounds.note_step_set tracker ~moved:moved_nodes
         ~enabled_after:(Sched.enabled_set sched);
-      observer ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved
-        config';
+      emit ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved config';
       loop config' (steps + 1) (moves + List.length moved) tracker
     end
   in
   let tracker = Rounds.create_set ~enabled:(Sched.enabled_set sched) in
-  observer ~step:0 ~rounds:0 ~moved:[] config;
+  emit ~step:0 ~rounds:0 ~moved:[] config;
   finish algo tracker (loop config 0 0 tracker)
 
-let run_naive ?(max_steps = 10_000_000) ?(max_moves = max_int)
-    ?(observer = no_observer) algo daemon config =
+let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks algo daemon config
+    =
+  let max_steps, max_moves, deadline = limits ?budget ?max_steps ?max_moves () in
   let note_move, finish = make_counters (Config.n config) in
+  let emit = bus ?observer ?sinks [] in
   let rec loop config steps moves tracker =
     let enabled = Config.enabled_nodes algo config in
-    if enabled = [] then (config, steps, moves, true)
-    else if steps >= max_steps || moves >= max_moves then
-      (config, steps, moves, false)
+    if enabled = [] then (config, steps, moves, Budget.Completed)
+    else if moves >= max_moves then
+      (config, steps, moves, Budget.Tripped Budget.Moves)
+    else if steps >= max_steps then
+      (config, steps, moves, Budget.Tripped Budget.Steps)
+    else if deadline () then (config, steps, moves, Budget.Tripped Budget.Deadline)
     else begin
       let selected = daemon.Daemon.select ~step:steps ~enabled in
       validate_selection config enabled selected;
@@ -162,14 +197,23 @@ let run_naive ?(max_steps = 10_000_000) ?(max_moves = max_int)
       List.iter note_move moved;
       let enabled_after = Config.enabled_nodes algo config' in
       Rounds.note_step tracker ~moved:(List.map fst moved) ~enabled_after;
-      observer ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved
-        config';
+      emit ~step:(steps + 1) ~rounds:(Rounds.completed tracker) ~moved config';
       loop config' (steps + 1) (moves + List.length moved) tracker
     end
   in
   let tracker = Rounds.create ~enabled:(Config.enabled_nodes algo config) in
-  observer ~step:0 ~rounds:0 ~moved:[] config;
+  emit ~step:0 ~rounds:0 ~moved:[] config;
   finish algo tracker (loop config 0 0 tracker)
 
-let run_synchronous ?max_steps algo config =
-  run ?max_steps algo Daemon.synchronous config
+let run_synchronous ?budget ?max_steps ?max_moves algo config =
+  run ?budget ?max_steps ?max_moves algo Daemon.synchronous config
+
+let report ?(label = "engine-run") ?seed ?wall_s stats =
+  Run_report.v ?seed ?wall_s ~outcome:stats.outcome label
+    (Run_report.Engine
+       {
+         Run_report.steps = stats.steps;
+         moves = stats.moves;
+         rounds = stats.rounds;
+         moves_per_rule = stats.moves_per_rule;
+       })

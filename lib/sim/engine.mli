@@ -6,7 +6,7 @@
     simultaneously} (all guards and actions read the pre-step
     configuration), and accounts moves, steps and rounds.  An
     execution ends at a terminal configuration (no enabled node — the
-    algorithm is silent there) or when a step/move budget runs out. *)
+    algorithm is silent there) or when a budget limit trips. *)
 
 exception Invalid_selection of string
 (** Raised when a daemon selects an empty set, a node that is not
@@ -23,7 +23,10 @@ type ('s, 'i) stats = {
   steps : int;  (** Number of daemon steps executed. *)
   moves : int;  (** Total rule executions (the paper's moves). *)
   rounds : int;  (** Completed rounds (neutralization-based). *)
-  terminated : bool;  (** Whether a terminal configuration was reached. *)
+  terminated : bool;  (** Whether a terminal configuration was reached
+          (equivalent to [outcome = Completed]). *)
+  outcome : Ss_report.Budget.outcome;
+      (** [Completed], or which budget limit cut the run short. *)
   moves_per_node : int array;  (** Moves of each node. *)
   moves_per_rule : (string * int) list;
       (** Moves per rule label, in the algorithm's priority order. *)
@@ -31,32 +34,53 @@ type ('s, 'i) stats = {
 
 type ('s, 'i) observer =
   step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
-(** Called once on the initial configuration ([step = 0], [moved = []])
-    and after every step with the (node, rule label) pairs that moved
-    and the configuration reached. *)
+(** A sink on the engine's event stream: called once on the initial
+    configuration ([step = 0], [moved = []]) and after every step with
+    the (node, rule label) pairs that moved and the configuration
+    reached.
+
+    {b Sink purity contract} (DESIGN.md §9): a sink must not mutate
+    the configuration, the algorithm, or the daemon it observes — it
+    may only read them and accumulate into its own state.  All sinks
+    on the bus see the same events in the same order, so composable
+    consumers (trace recording, CSV export, progress display,
+    divergence checking) cannot perturb the execution they measure. *)
+
+val tee : ('s, 'i) observer list -> ('s, 'i) observer
+(** Fan one event stream out to several sinks, in list order. *)
 
 val run :
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
   ?self_check:bool ->
   ?observer:('s, 'i) observer ->
+  ?sinks:('s, 'i) observer list ->
   ('s, 'i) Algorithm.t ->
   Daemon.t ->
   ('s, 'i) Config.t ->
   ('s, 'i) stats
 (** [run algo daemon config] executes until termination or budget
-    exhaustion (defaults: [max_steps = 10_000_000], [max_moves]
-    unlimited).  [stats.terminated] reports which happened.
+    exhaustion.  [stats.outcome] reports which happened.
 
-    [max_moves] is a {e hard} bound: [stats.moves <= max_moves]
+    Budgets: the unified [budget] record and the historical
+    [max_steps]/[max_moves] arguments compose — the tightest provided
+    limit wins ({!Ss_report.Budget.resolve}); when neither constrains
+    a dimension, [steps] defaults to [10_000_000] and [moves] is
+    unlimited.  [budget.deadline_s] is checked between steps.
+
+    The move limit is a {e hard} bound: [stats.moves <= max_moves]
     always.  A step whose selection would cross the remaining budget
     executes only a prefix of the selection (in the daemon's order) —
     the historical behavior checked the budget only between steps and
     could overshoot by up to n-1 moves on a synchronous step.  The
-    truncated step still counts as one step, and [terminated] is
-    [false] when the budget cut the execution short.  [max_steps]
-    keeps its pre-step semantics: the step that would exceed it is
-    simply not taken.
+    truncated step still counts as one step.  The step limit keeps its
+    pre-step semantics: the step that would exceed it is simply not
+    taken.
+
+    Observability: [observer] and every element of [sinks] are placed
+    on one bus ({!tee}) — [observer] first, then [sinks] in order —
+    and all receive every event.
 
     The engine is {e incremental}: it maintains the enabled set with
     a dirty-set scheduler ({!Sched}) that re-evaluates guards only
@@ -64,16 +88,19 @@ val run :
     all [n] nodes twice per step.  Observable behavior is identical
     to {!run_naive} (same steps, moves, rounds, configurations) for
     any algorithm whose guards are pure functions of the view — see
-    DESIGN.md §7.  [self_check] (default [false]) re-derives the
-    enabled set with a full scan after every step and raises
-    {!Divergence} on any mismatch; use it when developing new
-    algorithms or engine changes.
+    DESIGN.md §7.  [self_check] (default [false]) appends a
+    divergence-checking sink to the bus that re-derives the enabled
+    set with a full scan after every step and raises {!Divergence} on
+    any mismatch; use it when developing new algorithms or engine
+    changes.
     @raise Invalid_selection on malformed daemon selections. *)
 
 val run_naive :
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
   ?observer:('s, 'i) observer ->
+  ?sinks:('s, 'i) observer list ->
   ('s, 'i) Algorithm.t ->
   Daemon.t ->
   ('s, 'i) Config.t ->
@@ -82,7 +109,8 @@ val run_naive :
     every step ([O(n·Δ)] guard evaluations per step).  Kept as the
     compatibility baseline for differential testing and benchmarking;
     produces exactly the same execution as {!run}, including the hard
-    [max_moves] prefix-truncation semantics. *)
+    move-cap prefix-truncation semantics and the unified budget
+    handling. *)
 
 val step :
   ('s, 'i) Algorithm.t ->
@@ -95,9 +123,21 @@ val step :
     @raise Invalid_selection on malformed selections. *)
 
 val run_synchronous :
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
+  ?max_moves:int ->
   ('s, 'i) Algorithm.t ->
   ('s, 'i) Config.t ->
   ('s, 'i) stats
 (** Convenience: run under the synchronous daemon (steps = rounds
-    except for the final, terminal configuration). *)
+    except for the final, terminal configuration).  Takes the same
+    hard [max_moves] cap (and unified budget) as {!run}. *)
+
+val report :
+  ?label:string ->
+  ?seed:int ->
+  ?wall_s:float ->
+  ('s, 'i) stats ->
+  Ss_report.Run_report.t
+(** The engine's statistics as a structured {!Ss_report.Run_report.t}
+    (kind ["engine"]), ready for JSON emission. *)

@@ -2,7 +2,9 @@
 
     A recorder is an {!Engine.observer} paired with an accumulator; it
     is the basis of the replay tests, of the "roots are never created"
-    property checks, and of the §6 energy accounting. *)
+    property checks, and of the §6 energy accounting.  All recorders
+    here respect the sink purity contract (DESIGN.md §9) and compose
+    on the engine's sink bus ({!Engine.tee} / [?sinks]). *)
 
 type event = {
   ev_step : int;  (** Step index (1-based; step 0 is the initial config). *)
@@ -27,7 +29,23 @@ val moves_of : event list -> int
 
 val to_csv : event list -> string
 (** One line per move: [step,rounds,node,rule] with a header — for
-    offline analysis of executions. *)
+    offline analysis of executions.  Rule labels are quoted per
+    RFC 4180 (fields containing commas, quotes or line breaks are
+    wrapped in double quotes with embedded quotes doubled). *)
+
+val csv_sink : unit -> ('s, 'i) Engine.observer * (unit -> string)
+(** Streaming CSV export: an observer that appends each move to an
+    internal buffer as it happens (same format as {!to_csv}), plus a
+    function retrieving the CSV written so far. *)
+
+val to_json : event list -> Ss_report.Json.t
+(** The same per-move rows as {!to_csv}, as a JSON array of
+    [{step, rounds, node, rule}] objects built on the
+    {!Ss_report.Json} type. *)
+
+val progress : ?every:int -> Format.formatter -> ('s, 'i) Engine.observer
+(** A progress sink: prints [step/rounds/moves-so-far] every [every]
+    steps (default 1000). *)
 
 val to_schedule : event list -> int list list
 (** The activation sets of the trace, replayable through

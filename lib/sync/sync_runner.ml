@@ -1,4 +1,6 @@
 module Graph = Ss_graph.Graph
+module Budget = Ss_report.Budget
+module Run_report = Ss_report.Run_report
 
 type ('s, 'i) history = {
   graph : Graph.t;
@@ -6,6 +8,8 @@ type ('s, 'i) history = {
   states_by_round : 's array array;
   t : int;
 }
+
+type 's sink = round:int -> changed:int list -> 's array -> unit
 
 exception Did_not_terminate of string
 
@@ -15,10 +19,25 @@ exception Did_not_terminate of string
    Recomputing exactly those nodes yields the same row sequence as
    recomputing all of them (skipped nodes provably keep their state),
    while convergence tails touch only the still-active region. *)
-let run ?max_rounds algo g ~inputs =
+let run ?budget ?max_rounds ?(sinks = []) algo g ~inputs =
   let n = Graph.n g in
+  let b = Option.value budget ~default:Budget.unlimited in
   let max_rounds =
-    match max_rounds with Some m -> m | None -> (4 * n) + 64
+    Budget.resolve ~default:((4 * n) + 64) max_rounds b.Budget.steps
+  in
+  let deadline = Budget.deadline_check b in
+  let emit =
+    match sinks with
+    | [] -> fun ~round:_ ~changed:_ _ -> ()
+    | sinks ->
+        fun ~round ~changed row ->
+          List.iter (fun s -> s ~round ~changed row) sinks
+  in
+  let give_up what round =
+    raise
+      (Did_not_terminate
+         (Printf.sprintf "%s did not reach a fixpoint within %s (%d rounds)"
+            algo.Sync_algo.sync_name what round))
   in
   let inputs = Array.init n inputs in
   let row0 = Array.init n (fun p -> algo.Sync_algo.init inputs.(p)) in
@@ -40,10 +59,8 @@ let run ?max_rounds algo g ~inputs =
   in
   let rec go rows current dirty round =
     if round > max_rounds then
-      raise
-        (Did_not_terminate
-           (Printf.sprintf "%s did not reach a fixpoint within %d rounds"
-              algo.Sync_algo.sync_name max_rounds));
+      give_up (Printf.sprintf "the %d-round budget" max_rounds) round;
+    if deadline () then give_up "the wall-clock deadline" round;
     let next = Array.copy current in
     let changed = ref [] in
     List.iter
@@ -60,8 +77,10 @@ let run ?max_rounds algo g ~inputs =
     match !changed with
     | [] -> (List.rev rows, round)
     | changed ->
+        emit ~round:(round + 1) ~changed next;
         go (next :: rows) next (dirty_of changed ~epoch:round) (round + 1)
   in
+  emit ~round:0 ~changed:(List.init n Fun.id) row0;
   let rows, t = go [ row0 ] row0 (List.init n Fun.id) 0 in
   { graph = g; inputs; states_by_round = Array.of_list rows; t }
 
@@ -77,3 +96,7 @@ let max_state_bits algo h =
     (fun acc row ->
       Array.fold_left (fun acc s -> max acc (algo.Sync_algo.state_bits s)) acc row)
     0 h.states_by_round
+
+let report ?(label = "sync-run") ?seed ?wall_s h =
+  Run_report.v ?seed ?wall_s ~outcome:Budget.Completed label
+    (Run_report.Sync { Run_report.sync_rounds = h.t; nodes = Graph.n h.graph })

@@ -15,18 +15,31 @@ type ('s, 'i) history = {
   t : int;  (** Execution time [T]: first round index with no change. *)
 }
 
+type 's sink = round:int -> changed:int list -> 's array -> unit
+(** A sink on the synchronous loop's event stream: called once on the
+    initial row ([round = 0], every node "changed") and after every
+    round that changed at least one node, with the nodes that changed
+    and the row reached.  Same purity contract as
+    {!Ss_sim.Engine.observer} (DESIGN.md §9). *)
+
 exception Did_not_terminate of string
-(** Raised when no fixpoint is reached within the round budget. *)
+(** Raised when no fixpoint is reached within the budget (round cap or
+    wall-clock deadline). *)
 
 val run :
+  ?budget:Ss_report.Budget.t ->
   ?max_rounds:int ->
+  ?sinks:'s sink list ->
   ('s, 'i) Sync_algo.t ->
   Ss_graph.Graph.t ->
   inputs:(int -> 'i) ->
   ('s, 'i) history
-(** [run algo g ~inputs] executes until the global fixpoint (default
-    budget: [4 * n + 64] rounds — ample for all the algorithms here,
-    whose [T] is at most [n]).
+(** [run algo g ~inputs] executes until the global fixpoint.  The
+    unified [budget] and the historical [max_rounds] compose — the
+    tightest provided limit wins ([budget.steps] counts synchronous
+    rounds here); the default is [4 * n + 64] rounds, ample for all
+    the algorithms here, whose [T] is at most [n].
+    [budget.deadline_s] is checked once per round.
     @raise Did_not_terminate when the budget is exhausted. *)
 
 val state_at : ('s, 'i) history -> round:int -> node:int -> 's
@@ -42,3 +55,12 @@ val execution_time : ('s, 'i) history -> int
 
 val max_state_bits : ('s, 'i) Sync_algo.t -> ('s, 'i) history -> int
 (** Largest [state_bits] over all rounds and nodes — the measured [S]. *)
+
+val report :
+  ?label:string ->
+  ?seed:int ->
+  ?wall_s:float ->
+  ('s, 'i) history ->
+  Ss_report.Run_report.t
+(** The history's summary as a structured {!Ss_report.Run_report.t}
+    (kind ["sync"]): execution time [T] and network size. *)
