@@ -162,6 +162,66 @@ let bench_msgnet_recovery ~indexed ~n () =
     let _, stats = run ~heartbeat_every ~rng params start in
     assert stats.Ss_msgnet.Msgnet.quiescent
 
+(* Deep-ladder clean simulation: min-flood on a path with distinct
+   inputs, so the minimum walks the whole path and T = Θ(n) — every
+   node's list grows to height ~n.  This is the regime where the old
+   representation paid Θ(h) per extend and Θ(h·deg) per guard check;
+   with O(1)-amortized extends and watermarked algoErr the whole run is
+   Θ(moves·deg).  The uncached variant runs the identical dirty-set
+   engine with the full-prefix reference algoErr — the pre-PR cost
+   model — so the pair isolates exactly the incremental-verification
+   win. *)
+let deep_ladder_start ~n =
+  let g = G.Builders.path n in
+  let params = Core.Transformer.params Ss_algos.Min_flood.algo in
+  (params, Core.Transformer.clean_config params g ~inputs:(fun p -> p))
+
+let bench_deep_ladder ~cached ~n () =
+  let params, start = deep_ladder_start ~n in
+  if cached then fun () ->
+    ignore (Core.Transformer.run params Sim.Daemon.synchronous start)
+  else fun () ->
+    ignore
+      (Sim.Engine.run
+         (Core.Transformer.algorithm_uncached params)
+         Sim.Daemon.synchronous start)
+
+(* Per-guard algoErr cost at height h: alternate between a clean view
+   at height h-1 and its extension at height h (sharing one backing
+   buffer), mimicking the dirty-set engine's re-evaluation pattern
+   after an RU move.  The cached predicate re-checks at most one cell
+   per call (O(Δ·deg), flat in h); the reference re-verifies the whole
+   prefix (O(h·deg)). *)
+let bench_algo_err ~cached ~h () =
+  let params = Core.Transformer.params Ss_algos.Min_flood.algo in
+  let input = 5 in
+  let mk len =
+    Core.Trans_state.make ~init:input ~status:Core.Trans_state.C
+      ~cells:(Array.make len input)
+  in
+  let neighbors = [| mk h; mk h |] in
+  let self_a =
+    let s = ref (Core.Trans_state.clean input) in
+    for _ = 1 to h - 1 do
+      s := Core.Trans_state.extend !s input
+    done;
+    !s
+  in
+  let self_b = Core.Trans_state.extend self_a input in
+  let va = { Sim.Algorithm.input; self = self_a; neighbors } in
+  let vb = { Sim.Algorithm.input; self = self_b; neighbors } in
+  let eval =
+    if cached then begin
+      let cache = P.make_cache () in
+      fun v -> P.algo_err_cached cache params v
+    end
+    else fun v -> P.algo_err params v
+  in
+  let flip = ref false in
+  fun () ->
+    flip := not !flip;
+    assert (not (eval (if !flip then vb else va)))
+
 let bench_rollback_scan () =
   let config = Ss_rollback.Blowup.initial_config ~k:4 in
   let algo =
@@ -237,10 +297,25 @@ let micro_benchmarks () =
             (Staged.stage (bench_full_recovery ~n:64 ()));
           Test.make ~name:"full-recovery-naive/trans-ring64"
             (Staged.stage (bench_full_recovery_naive ~n:64 ()));
+          Test.make ~name:"deep-ladder/path256"
+            (Staged.stage (bench_deep_ladder ~cached:true ~n:256 ()));
+          Test.make ~name:"deep-ladder-uncached/path256"
+            (Staged.stage (bench_deep_ladder ~cached:false ~n:256 ()));
           Test.make ~name:"rollback-scan/G4"
             (Staged.stage (bench_rollback_scan ()));
           Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
         ]
+      @ List.concat_map
+          (fun h ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "algo-err-cached/h%d" h)
+                (Staged.stage (bench_algo_err ~cached:true ~h ()));
+              Test.make
+                ~name:(Printf.sprintf "algo-err-naive/h%d" h)
+                (Staged.stage (bench_algo_err ~cached:false ~h ()));
+            ])
+          [ 8; 64; 512 ]
       @ List.concat_map
           (fun n ->
             [

@@ -32,10 +32,8 @@ let space_bits params config =
   let bits = params.Transformer.sync.Sync_algo.state_bits in
   Array.fold_left
     (fun acc st ->
-      let cell_bits =
-        Array.fold_left (fun b s -> b + bits s) 0 st.St.cells
-      in
-      max acc (1 + bits st.St.init + cell_bits))
+      let cell_bits = St.fold_cells (fun b s -> b + bits s) 0 st in
+      max acc (1 + bits (St.init st) + cell_bits))
     0 config.Config.states
 
 let simulates_history params history config =
@@ -43,7 +41,7 @@ let simulates_history params history config =
   let ok p =
     let st = Config.state config p in
     (not (St.in_error st))
-    && eq st.St.init (Sync_runner.state_at history ~round:0 ~node:p)
+    && eq (St.init st) (Sync_runner.state_at history ~round:0 ~node:p)
     &&
     let rec cells i =
       i > St.height st

@@ -26,45 +26,152 @@ let min_neighbor_height (v : ('s, 'i) view) =
     (fun acc nb -> min acc (St.height nb))
     max_int v.Algorithm.neighbors
 
-let algo_err params (v : ('s, 'i) view) =
-  let self = v.Algorithm.self in
-  let h = St.height self in
+(* Cell i is checkable when all dependencies exist: i - 1 <= q.h for
+   every neighbor q, i.e. i <= min_nb + 1 (beware overflow when the
+   node has no neighbors). *)
+let top_checkable (v : ('s, 'i) view) =
+  let h = St.height v.Algorithm.self in
   let min_nb = min_neighbor_height v in
-  (* Cell i is checkable when all dependencies exist: i - 1 <= q.h for
-     every neighbor q, i.e. i <= min_nb + 1 (beware overflow when the
-     node has no neighbors). *)
-  let top_checkable = if min_nb = max_int then h else min h (min_nb + 1) in
-  if top_checkable < 1 then false
+  if min_nb = max_int then h else min h (min_nb + 1)
+
+(* Scan cells [base+1 .. top] for an algorithm error, refilling one
+   scratch dependency array per cell instead of the fresh Array.map
+   that algo_hat would allocate ([step] computes from the array and
+   must not retain it).  Returns the index of the first bad cell, or
+   [top + 1] when the whole range verifies. *)
+let first_bad params (v : ('s, 'i) view) ~base ~top =
+  let self = v.Algorithm.self in
+  let nbs = v.Algorithm.neighbors in
+  let deg = Array.length nbs in
+  let deps = Array.make deg (St.cell self 0) in
+  let i = ref (base + 1) in
+  let bad = ref false in
+  while (not !bad) && !i <= top do
+    for k = 0 to deg - 1 do
+      deps.(k) <- St.cell nbs.(k) (!i - 1)
+    done;
+    if
+      not
+        (params.sync.Sync_algo.equal (St.cell self !i)
+           (params.sync.Sync_algo.step v.Algorithm.input
+              (St.cell self (!i - 1))
+              deps))
+    then bad := true
+    else incr i
+  done;
+  !i
+
+let algo_err params (v : ('s, 'i) view) =
+  let top = top_checkable v in
+  top >= 1 && first_bad params v ~base:0 ~top <= top
+
+(* ------------------------------------------------------------------ *)
+(* Memoized verification watermarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One watermark per node, keyed by the identity of the node's backing
+   buffer ({!St.rep_id}): cells [1 .. verified] were checked against
+   dependencies that are still physically present as long as every
+   neighbor kept its buffer (write-once committed prefixes, see
+   trans_state.ml).  A guard re-evaluation therefore costs O(deg)
+   stamp comparisons plus one [step] per cell appended or repaired
+   since the previous evaluation — O(Δ·deg) instead of the naive
+   O(h·deg) full-prefix re-verification. *)
+type entry = {
+  mutable input : Obj.t;
+      (* Physical token of the view's input: a buffer is the [self] of
+         exactly one node in practice, but a pathological config could
+         alias states across nodes — the token turns that into a cache
+         miss instead of a wrong answer. *)
+  mutable self_stamp : int;
+  mutable nb_stamps : int array;
+  mutable nb_reps : int array;
+  mutable verified : int;  (* cells 1 .. verified are algo-correct *)
+  mutable top : int;  (* top_checkable at the last evaluation *)
+  mutable result : bool;
+}
+
+type ('s, 'i) cache = (int, entry) Hashtbl.t
+
+let make_cache () : ('s, 'i) cache = Hashtbl.create 64
+
+(* Error broadcasts mint a fresh buffer per RR move; cap the table so
+   a long recovery cannot accumulate unbounded stale watermarks. *)
+let cache_capacity = 1 lsl 16
+
+let algo_err_cached (tbl : ('s, 'i) cache) params (v : ('s, 'i) view) =
+  let top = top_checkable v in
+  if top < 1 then false
   else begin
-    (* This guard is the hottest path of both engines; one scratch
-       dependency array refilled per cell replaces the fresh Array.map
-       that algo_hat would allocate for every checked cell ([step]
-       computes from the array and must not retain it). *)
+    let self = v.Algorithm.self in
     let nbs = v.Algorithm.neighbors in
     let deg = Array.length nbs in
-    let deps = Array.make deg (St.cell self 0) in
-    let rec bad i =
-      i <= top_checkable
-      && begin
-           for k = 0 to deg - 1 do
-             deps.(k) <- St.cell nbs.(k) (i - 1)
-           done;
-           (not
-              (params.sync.Sync_algo.equal (St.cell self i)
-                 (params.sync.Sync_algo.step v.Algorithm.input
-                    (St.cell self (i - 1))
-                    deps)))
-           || bad (i + 1)
-         end
+    let input = Obj.repr v.Algorithm.input in
+    let rep = St.rep_id self in
+    let fresh_hit e =
+      e.input == input
+      && e.self_stamp = St.stamp self
+      && e.top = top
+      && Array.length e.nb_stamps = deg
+      &&
+      let rec go k = k >= deg || (e.nb_stamps.(k) = St.stamp nbs.(k) && go (k + 1)) in
+      go 0
     in
-    bad 1
+    let prefix_valid e =
+      e.input == input
+      && Array.length e.nb_reps = deg
+      &&
+      let rec go k = k >= deg || (e.nb_reps.(k) = St.rep_id nbs.(k) && go (k + 1)) in
+      go 0
+    in
+    let found = Hashtbl.find_opt tbl rep in
+    match found with
+    | Some e when fresh_hit e -> e.result
+    | _ ->
+        let base =
+          match found with
+          | Some e when prefix_valid e -> min e.verified top
+          | _ -> 0
+        in
+        let i = first_bad params v ~base ~top in
+        let result = i <= top in
+        let verified = if result then i - 1 else top in
+        (match found with
+        | Some e ->
+            e.input <- input;
+            e.self_stamp <- St.stamp self;
+            if Array.length e.nb_stamps = deg then
+              for k = 0 to deg - 1 do
+                e.nb_stamps.(k) <- St.stamp nbs.(k);
+                e.nb_reps.(k) <- St.rep_id nbs.(k)
+              done
+            else begin
+              e.nb_stamps <- Array.init deg (fun k -> St.stamp nbs.(k));
+              e.nb_reps <- Array.init deg (fun k -> St.rep_id nbs.(k))
+            end;
+            e.verified <- verified;
+            e.top <- top;
+            e.result <- result
+        | None ->
+            if Hashtbl.length tbl >= cache_capacity then Hashtbl.reset tbl;
+            Hashtbl.replace tbl rep
+              {
+                input;
+                self_stamp = St.stamp self;
+                nb_stamps = Array.init deg (fun k -> St.stamp nbs.(k));
+                nb_reps = Array.init deg (fun k -> St.rep_id nbs.(k));
+                verified;
+                top;
+                result;
+              });
+        result
   end
 
 let dep_err _params (v : ('s, 'i) view) =
   let self = v.Algorithm.self in
   let h = St.height self in
   let nbs = v.Algorithm.neighbors in
-  match self.St.status with
+  match St.status self with
   | St.E -> not (Array.exists (fun q -> St.in_error q && St.height q < h) nbs)
   | St.C -> Array.exists (fun q -> St.height q >= h + 2) nbs
 

@@ -41,7 +41,30 @@ val min_neighbor_height : ('s, 'i) view -> int
 
 val algo_err : ('s, 'i) params -> ('s, 'i) view -> bool
 (** [algoErr(p)]: some cell [1 <= i <= h] has all its dependencies
-    present ([∀q, q.h >= i-1]) yet differs from [algô(p, i-1)]. *)
+    present ([∀q, q.h >= i-1]) yet differs from [algô(p, i-1)].
+    Reference implementation: re-verifies the whole checkable prefix,
+    O(h·deg) calls to [step]. *)
+
+type ('s, 'i) cache
+(** Memoized verification watermarks for {!algo_err_cached}: per node
+    (keyed by the {!Trans_state.rep_id} of its backing buffer), the
+    deepest prefix of [L] already verified against the current
+    neighbor cells, together with the neighbor version stamps the
+    verification read.  Sound because committed buffer prefixes are
+    write-once: as long as each neighbor keeps its buffer, the cells
+    behind the watermark are physically unchanged, and every move that
+    could affect them (divergence, [RR] wipe, corruption) mints a
+    fresh buffer — a cache miss, never a stale hit. *)
+
+val make_cache : unit -> ('s, 'i) cache
+(** A fresh, empty cache.  One cache serves one (algorithm, graph)
+    instantiation; sharing it across unrelated configs is safe (keys
+    are globally unique buffer ids) but wastes capacity. *)
+
+val algo_err_cached : ('s, 'i) cache -> ('s, 'i) params -> ('s, 'i) view -> bool
+(** Same result as {!algo_err}, but O(deg) on a stamp-exact hit and
+    O(Δ·deg) when only Δ cells were appended or became checkable since
+    the last evaluation of this node. *)
 
 val dep_err : ('s, 'i) params -> ('s, 'i) view -> bool
 (** [depErr(p)]: the node is in error without an error neighbor of

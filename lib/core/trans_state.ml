@@ -1,36 +1,145 @@
 type status = C | E
-type 's t = { init : 's; status : status; cells : 's array }
 
-let make ~init ~status ~cells = { init; status; cells }
-let clean init = { init; status = C; cells = [||] }
-let height st = Array.length st.cells
+(* Backing buffer shared by a whole lineage of states.  The committed
+   prefix [data.(0 .. committed-1)] is write-once: [extend] only ever
+   writes at index [committed], so any two states sharing a buffer
+   agree (physically) on their common logical prefix — the invariant
+   both the O(1) [equal] fast paths and the prefix-verification cache
+   in {!Predicates} rest on. *)
+type 's buffer = {
+  id : int;  (* globally unique; Predicates keys its memo on it *)
+  mutable data : 's array;
+  mutable committed : int;
+}
+
+type 's t = {
+  init : 's;
+  status : status;
+  buf : 's buffer;
+  len : int;  (* logical height; cells live in buf.data.(0 .. len-1) *)
+  stamp : int;
+      (* Monotone version stamp, fresh on every construction: equal
+         stamps imply the two values are the same construction, hence
+         logically equal. *)
+}
+
+let buffer_counter = ref 0
+let stamp_counter = ref 0
+
+let fresh_stamp () =
+  incr stamp_counter;
+  !stamp_counter
+
+let fresh_buffer data committed =
+  incr buffer_counter;
+  { id = !buffer_counter; data; committed }
+
+let make ~init ~status ~cells =
+  (* Defensive copy: the caller keeps ownership of [cells]. *)
+  let cells = Array.copy cells in
+  {
+    init;
+    status;
+    buf = fresh_buffer cells (Array.length cells);
+    len = Array.length cells;
+    stamp = fresh_stamp ();
+  }
+
+let clean init = make ~init ~status:C ~cells:[||]
+let height st = st.len
+let init st = st.init
+let status st = st.status
+let stamp st = st.stamp
+let rep_id st = st.buf.id
 
 let cell st i =
   if i = 0 then st.init
-  else if i >= 1 && i <= height st then st.cells.(i - 1)
-  else invalid_arg (Printf.sprintf "Trans_state.cell: index %d, height %d" i (height st))
+  else if i >= 1 && i <= st.len then st.buf.data.(i - 1)
+  else
+    invalid_arg (Printf.sprintf "Trans_state.cell: index %d, height %d" i st.len)
 
-let top st = cell st (height st)
+let top st = cell st st.len
 
 let truncate st i =
-  if i < 0 || i > height st then invalid_arg "Trans_state.truncate";
-  { st with cells = Array.sub st.cells 0 i }
+  if i < 0 || i > st.len then invalid_arg "Trans_state.truncate";
+  (* O(1): a length drop sharing the backing buffer. *)
+  if i = st.len then st else { st with len = i; stamp = fresh_stamp () }
 
-let extend st s = { st with cells = Array.append st.cells [| s |] }
-let with_status st status = { st with status }
+let extend st s =
+  let b = st.buf in
+  if st.len = b.committed then begin
+    (* Unique extension: this state owns the frontier, write in place
+       (amortized O(1) with capacity doubling). *)
+    let cap = Array.length b.data in
+    if st.len = cap then begin
+      let data = Array.make (max 4 (2 * cap)) s in
+      Array.blit b.data 0 data 0 cap;
+      b.data <- data
+    end;
+    b.data.(st.len) <- s;
+    b.committed <- st.len + 1;
+    { st with len = st.len + 1; stamp = fresh_stamp () }
+  end
+  else if b.data.(st.len) == s then
+    (* Aliased re-extension: the committed cell already IS [s] (the
+       message-network mirrors replay exactly the cells their origin
+       appended), so just re-adopt it — no copy, prefix sharing kept. *)
+    { st with len = st.len + 1; stamp = fresh_stamp () }
+  else begin
+    (* Divergence from a shared prefix: copy-on-write. *)
+    let data = Array.make (max 4 (2 * (st.len + 1))) s in
+    Array.blit b.data 0 data 0 st.len;
+    {
+      st with
+      buf = fresh_buffer data (st.len + 1);
+      len = st.len + 1;
+      stamp = fresh_stamp ();
+    }
+  end
+
+let with_status st status =
+  if st.status = status then st else { st with status; stamp = fresh_stamp () }
+
+let wipe st =
+  { init = st.init; status = E; buf = fresh_buffer [||] 0; len = 0;
+    stamp = fresh_stamp () }
+
 let in_error st = st.status = E
 
 let equal eq a b =
-  a.status = b.status && eq a.init b.init
-  && Ss_prelude.Util.array_equal eq a.cells b.cells
+  (* Stamp fast path (O(1)): equal stamps only arise by aliasing a
+     construction, so the logical values coincide.  Buffer fast path:
+     shared buffers agree on the committed prefix, so equal lengths
+     mean equal cells. *)
+  a.stamp = b.stamp
+  || (a.status = b.status && a.len = b.len && eq a.init b.init
+     &&
+     if a.buf == b.buf then true
+     else begin
+       let rec go i =
+         i >= a.len || (eq a.buf.data.(i) b.buf.data.(i) && go (i + 1))
+       in
+       go 0
+     end)
+
+let cells st = Array.sub st.buf.data 0 st.len
+
+let fold_cells f acc st =
+  let acc = ref acc in
+  for i = 0 to st.len - 1 do
+    acc := f !acc st.buf.data.(i)
+  done;
+  !acc
+
+let snapshot st = (st.status, st.init, cells st)
 
 let pp_status ppf = function
   | C -> Format.pp_print_string ppf "C"
   | E -> Format.pp_print_string ppf "E"
 
 let pp pp_state ppf st =
-  Format.fprintf ppf "{%a h=%d [%a]}" pp_status st.status (height st)
+  Format.fprintf ppf "{%a h=%d [%a]}" pp_status st.status st.len
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        pp_state)
-    (Array.to_list st.cells)
+    (Array.to_list (cells st))

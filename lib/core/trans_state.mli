@@ -4,19 +4,34 @@
     - [init]: the node's initial state in the simulated algorithm —
       read-only (never written by a rule, never corrupted by faults);
     - [status]: [C] (correct) or [E] (in error);
-    - [cells]: the simulation list [L], cell [i] (1-based) ultimately
-      holding [st_p^i], the state of the node at round [i] of the
-      synchronous execution.
+    - the simulation list [L], cell [i] (1-based) ultimately holding
+      [st_p^i], the state of the node at round [i] of the synchronous
+      execution.
 
     By convention [L(0) = init]; the {e height} [h] of a node is the
-    length of its list. *)
+    length of its list.
+
+    {b Representation.} Values have immutable {e value semantics} —
+    [extend]/[truncate]/[with_status] return new states and never
+    change an existing one — but share a capacity-doubling backing
+    buffer whose committed prefix is write-once.  Consequences:
+    - [extend] is amortized O(1) when the state is uniquely extendable
+      (the overwhelmingly common case: a node appending to its own
+      list), and copies on divergence from a shared prefix;
+    - [truncate] is O(1) (a logical length drop);
+    - [equal] has two O(1) fast paths: equal version {!stamp}s, and a
+      physically shared buffer at equal heights;
+    - two states sharing a buffer agree {e physically} on their common
+      logical prefix — the invariant behind the incremental
+      prefix-verification cache of {!Predicates}. *)
 
 type status = C | E
 
-type 's t = { init : 's; status : status; cells : 's array }
+type 's t
 
 val make : init:'s -> status:status -> cells:'s array -> 's t
-(** Plain constructor. *)
+(** Plain constructor ([cells] is copied; the result owns a fresh
+    buffer). *)
 
 val clean : 's -> 's t
 (** [clean init] is the controlled initial state: status [C], empty
@@ -24,6 +39,11 @@ val clean : 's -> 's t
 
 val height : 's t -> int
 (** [height st] is [h], the length of the list. *)
+
+val init : 's t -> 's
+(** The read-only initial state [L(0)]. *)
+
+val status : 's t -> status
 
 val cell : 's t -> int -> 's
 (** [cell st i] is [L(i)] for [0 <= i <= height st]; [cell st 0] is
@@ -34,19 +54,54 @@ val top : 's t -> 's
 (** [top st = cell st (height st)] — the newest simulated state. *)
 
 val truncate : 's t -> int -> 's t
-(** [truncate st i] cuts the list down to height [i <= height st]. *)
+(** [truncate st i] cuts the list down to height [i <= height st].
+    O(1): the result shares the backing buffer. *)
 
 val extend : 's t -> 's -> 's t
-(** [extend st s] appends [s], increasing the height by one. *)
+(** [extend st s] appends [s], increasing the height by one.
+    Amortized O(1) on the unique-extension path; O(h) copy-on-write
+    when diverging from a prefix another state extended differently
+    (re-appending the {e physically} identical cell re-adopts it
+    without copying). *)
 
 val with_status : 's t -> status -> 's t
-(** Replace the status. *)
+(** Replace the status ([st] itself when already equal). *)
+
+val wipe : 's t -> 's t
+(** [wipe st] is the error-reset state of rule [RR]: status [E], empty
+    list, same [init] — on a fresh buffer, so sharers keep their
+    prefix. *)
 
 val in_error : 's t -> bool
 (** [status = E]. *)
 
 val equal : ('s -> 's -> bool) -> 's t -> 's t -> bool
-(** Structural equality given a state equality. *)
+(** Structural equality given a state equality (O(1) on the stamp and
+    shared-buffer fast paths). *)
+
+val stamp : 's t -> int
+(** Monotone per-state version stamp, fresh on every construction:
+    [stamp a = stamp b] implies [a] and [b] are the same construction
+    and therefore logically equal.  Schedulers and caches use it as a
+    cheap "has this state changed?" token. *)
+
+val rep_id : 's t -> int
+(** Identity of the backing buffer (globally unique).  Two states with
+    the same [rep_id] agree physically on their common logical prefix;
+    {!Predicates} keys its verification watermarks on it. *)
+
+val cells : 's t -> 's array
+(** Fresh copy of the logical list [L(1..h)] (never exposes backing
+    capacity). *)
+
+val fold_cells : ('a -> 's -> 'a) -> 'a -> 's t -> 'a
+(** Left fold over the logical cells [L(1) .. L(h)], allocation-free. *)
+
+val snapshot : 's t -> status * 's * 's array
+(** Canonical logical content [(status, init, cells)].  Two logically
+    equal states yield structurally equal snapshots regardless of how
+    they were built — the wire/proof serialization base
+    ({!Ss_msgnet.Msgnet}). *)
 
 val pp :
   (Format.formatter -> 's -> unit) -> Format.formatter -> 's t -> unit

@@ -26,15 +26,15 @@ let rp = "RP"
 let rc = "RC"
 let ru = "RU"
 
-let rule_rr p =
+let rule_rr ~algo_err p =
   {
     Algorithm.rule_name = rr;
     guard =
       (fun v ->
         let self = v.Algorithm.self in
-        (St.height self > 0 || not (St.in_error self)) && P.is_root p v);
-    action =
-      (fun v -> { v.Algorithm.self with St.status = St.E; cells = [||] });
+        (St.height self > 0 || not (St.in_error self))
+        && (algo_err p v || P.dep_err p v));
+    action = (fun v -> St.wipe v.Algorithm.self);
   }
 
 let rule_rp p =
@@ -65,16 +65,22 @@ let rule_ru p =
         St.extend self (P.algo_hat p v (St.height self)));
   }
 
-let algorithm p =
+let algorithm_gen ~algo_err p =
   {
     Algorithm.algo_name =
       Printf.sprintf "trans(%s,%s,B=%s)" p.sync.Sync_algo.sync_name
         (match p.mode with P.Lazy -> "lazy" | P.Greedy -> "greedy")
         (match p.bound with P.Infinite -> "inf" | P.Finite b -> string_of_int b);
     equal = St.equal p.sync.Sync_algo.equal;
-    rules = [ rule_rr p; rule_rp p; rule_rc p; rule_ru p ];
+    rules = [ rule_rr ~algo_err p; rule_rp p; rule_rc p; rule_ru p ];
     pp_state = St.pp p.sync.Sync_algo.pp_state;
   }
+
+let algorithm p =
+  let cache = P.make_cache () in
+  algorithm_gen ~algo_err:(P.algo_err_cached cache) p
+
+let algorithm_uncached p = algorithm_gen ~algo_err:P.algo_err p
 
 let clean_config p g ~inputs =
   Config.make g ~inputs ~states:(fun node ->
@@ -82,45 +88,44 @@ let clean_config p g ~inputs =
 
 let corrupt_state rng ~max_height params input (st : 's St.t) =
   let cap = min max_height (P.bound_to_int params.bound) in
-  let random_cells input len =
+  let random_cells len =
     Array.init len (fun _ -> params.sync.Sync_algo.random_state rng input)
   in
-    match Rng.int rng 5 with
-    | 0 ->
-        (* Full scramble: fresh status, height and contents. *)
-        let h = Rng.int rng (cap + 1) in
-        {
-          St.init = st.St.init;
-          status = (if Rng.bool rng then St.C else St.E);
-          cells = random_cells input h;
-        }
-    | 1 ->
-        (* Truncation. *)
-        let h = St.height st in
-        if h = 0 then St.with_status st (if Rng.bool rng then St.C else St.E)
-        else St.truncate st (Rng.int rng h)
-    | 2 ->
-        (* Garbage extension. *)
-        let extra = Rng.int rng (max 1 (cap - St.height st + 1)) in
-        {
-          st with
-          St.cells =
-            Array.append st.St.cells (random_cells input extra);
-        }
-    | 3 ->
-        (* Single-cell flip. *)
-        let h = St.height st in
-        if h = 0 then
-          { st with St.cells = random_cells input (min 1 cap) }
-        else begin
-          let i = Rng.int rng h in
-          let cells = Array.copy st.St.cells in
-          cells.(i) <- params.sync.Sync_algo.random_state rng input;
-          { st with St.cells = cells }
-        end
-    | _ ->
-        (* Status flip. *)
-        St.with_status st (if St.in_error st then St.C else St.E)
+  let random_status () = if Rng.bool rng then St.C else St.E in
+  let flip_status () =
+    St.with_status st (if St.in_error st then St.C else St.E)
+  in
+  let h = St.height st in
+  match Rng.int rng 5 with
+  | 0 ->
+      (* Full scramble: fresh status, height and contents. *)
+      St.make ~init:(St.init st) ~status:(random_status ())
+        ~cells:(random_cells (Rng.int rng (cap + 1)))
+  | 1 ->
+      (* Truncation. *)
+      if h = 0 then St.with_status st (random_status ())
+      else St.truncate st (Rng.int rng h)
+  | 2 ->
+      (* Garbage extension: always at least one cell; a full list has
+         no room, so degrade to a status flip rather than a no-op. *)
+      if cap <= h then flip_status ()
+      else
+        let extra = 1 + Rng.int rng (cap - h) in
+        St.make ~init:(St.init st) ~status:(St.status st)
+          ~cells:(Array.append (St.cells st) (random_cells extra))
+  | 3 ->
+      (* Single-cell flip; an empty list with no capacity degrades to
+         a status flip rather than a no-op. *)
+      if h = 0 then
+        if cap = 0 then flip_status ()
+        else St.extend st (params.sync.Sync_algo.random_state rng input)
+      else begin
+        let i = Rng.int rng h in
+        let cells = St.cells st in
+        cells.(i) <- params.sync.Sync_algo.random_state rng input;
+        St.make ~init:(St.init st) ~status:(St.status st) ~cells
+      end
+  | _ -> flip_status ()
 
 let corrupt rng ?(p = 1.0) ~max_height params config =
   let states =
@@ -133,13 +138,36 @@ let corrupt rng ?(p = 1.0) ~max_height params config =
   in
   Config.with_states config states
 
-let run ?budget ?max_steps ?max_moves ?self_check ?observer ?sinks p daemon
-    config =
-  Engine.run ?budget ?max_steps ?max_moves ?self_check ?observer ?sinks
-    (algorithm p) daemon config
+let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks p
+    daemon config =
+  let algo = algorithm p in
+  let sinks = Option.value sinks ~default:[] in
+  let sinks =
+    if not self_check then sinks
+    else begin
+      (* Cached predicates are validated the same way the dirty-set
+         scheduler is: a sink re-derives the enabled set with the
+         uncached reference predicates and compares. *)
+      let reference = algorithm_uncached p in
+      let check ~step:_ ~rounds:_ ~moved:_ config =
+        let cached = Config.enabled_nodes algo config in
+        let uncached = Config.enabled_nodes reference config in
+        if cached <> uncached then
+          raise
+            (Engine.Divergence
+               (Printf.sprintf
+                  "cached enabled set {%s} disagrees with uncached {%s}"
+                  (String.concat "," (List.map string_of_int cached))
+                  (String.concat "," (List.map string_of_int uncached))))
+      in
+      check :: sinks
+    end
+  in
+  Engine.run ?budget ?max_steps ?max_moves ~self_check ?observer ~sinks algo
+    daemon config
 
 let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks p daemon config =
-  Engine.run_naive ?budget ?max_steps ?max_moves ?observer ?sinks (algorithm p)
-    daemon config
+  Engine.run_naive ?budget ?max_steps ?max_moves ?observer ?sinks
+    (algorithm_uncached p) daemon config
 
 let outputs config = Array.map St.top config.Config.states

@@ -52,7 +52,18 @@ val ru : string
 
 val algorithm :
   ('s, 'i) params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
-(** The transformed algorithm, ready for {!Ss_sim.Engine.run}. *)
+(** The transformed algorithm, ready for {!Ss_sim.Engine.run}.  Each
+    call embeds a fresh {!Predicates.cache}, so [RR]'s [algoErr] guard
+    re-verifies only the cells that changed since the node's previous
+    evaluation (O(Δ·deg) instead of O(h·deg)).  The cache never
+    changes results — see {!Predicates.algo_err_cached} — and
+    [run ~self_check:true] cross-validates it on every step. *)
+
+val algorithm_uncached :
+  ('s, 'i) params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
+(** Same algorithm with the reference full-prefix [algoErr] — the
+    differential-testing and benchmarking baseline ({!run_naive} uses
+    it). *)
 
 val clean_config :
   ('s, 'i) params ->
@@ -72,9 +83,13 @@ val corrupt :
 (** [corrupt rng ~max_height params config] models transient faults:
     each node is hit independently with probability [p] (default 1)
     and its state is replaced by one of several corruption patterns —
-    full scramble, truncation, garbage extension, single-cell flip, or
-    status flip.  Heights never exceed [min(max_height, B)] and the
-    read-only [init] field is preserved. *)
+    full scramble, truncation, garbage extension (always at least one
+    cell), single-cell flip, or status flip.  Patterns that would
+    degenerate to a no-op (extending a full list, flipping a cell of
+    an empty zero-capacity list) fall back to a status flip, so a hit
+    node always actually changes.  Heights never exceed
+    [min(max_height, B)] and the read-only [init] field is
+    preserved. *)
 
 val corrupt_state :
   Ss_prelude.Rng.t ->
@@ -100,8 +115,11 @@ val run :
   ('s Trans_state.t, 'i) Ss_sim.Engine.stats
 (** Convenience wrapper over {!Ss_sim.Engine.run} (the incremental
     dirty-set engine; [self_check] cross-validates it against a full
-    scan every step).  All the engine's budget and sink-bus options
-    pass through unchanged. *)
+    scan every step, {e and} cross-validates the cached predicates of
+    {!algorithm} against the uncached reference of
+    {!algorithm_uncached}, raising {!Ss_sim.Engine.Divergence} on any
+    mismatch).  All the engine's budget and sink-bus options pass
+    through unchanged. *)
 
 val run_naive :
   ?budget:Ss_report.Budget.t ->

@@ -32,8 +32,8 @@ let state_proof ~nonce s =
 
 let full_state_bits sync st =
   let bits = sync.Sync_algo.state_bits in
-  1 (* status *) + bits st.St.init
-  + Array.fold_left (fun acc c -> acc + bits c) 0 st.St.cells
+  1 (* status *) + bits (St.init st)
+  + St.fold_cells (fun acc c -> acc + bits c) 0 st
 
 let delta_bits params st rule =
   let sync = params.Transformer.sync in

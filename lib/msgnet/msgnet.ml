@@ -86,8 +86,17 @@ let delta_of_move rule_name new_state =
   else if rule_name = Transformer.rc then D_rc
   else D_ru (St.top new_state)
 
+(* Canonical wire/proof pre-image: the logical snapshot only (status,
+   init, cells) with [No_sharing], so logically equal states encode to
+   the same bytes no matter how they were built — backing-buffer
+   capacity, version stamps and physical sharing never leak onto the
+   wire.  Injective for the plain-data states the sync algorithms
+   use. *)
+let canonical_bytes (st : _ St.t) =
+  Marshal.to_string (St.snapshot st) [ Marshal.No_sharing ]
+
 let apply_delta mirror = function
-  | D_rr -> { mirror with St.status = St.E; cells = [||] }
+  | D_rr -> St.wipe mirror
   | D_rp i ->
       (* A corrupted mirror may be shorter than the sender's list; a
          total best-effort truncation keeps the protocol running until
@@ -127,10 +136,7 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
   let deadline = Budget.deadline_check b in
   let observing = sinks <> [] in
   let emit ev = List.iter (fun s -> s ev) sinks in
-  (* Proof pre-image: a structural binary dump, an order of magnitude
-     cheaper than pretty-printing and injective for the plain-data
-     states the sync algorithms use. *)
-  let serialize (st : _ St.t) = Marshal.to_string st [] in
+  let serialize = canonical_bytes in
   let proof_msg_bits = Energy.proof_message_bits proof in
   (* Each wave enqueues one proof per directed link (2m messages) while
      the timer fires every [heartbeat_every] *deliveries*: a period at

@@ -93,6 +93,16 @@ val total_bits : stats -> int
 (** All traffic: updates + proofs + requests
     ([Energy.request_message_bits] each) + full copies. *)
 
+val canonical_bytes : 's Ss_core.Trans_state.t -> string
+(** Canonical wire/proof pre-image of a state: a [Marshal] dump
+    ([No_sharing]) of its logical snapshot [(status, init, cells)].
+    Logically equal states encode to identical bytes regardless of the
+    operation sequence that built them — backing-buffer capacity,
+    version stamps and physical sharing never reach the wire.  This is
+    the pre-image hashed by proof waves ({!Ss_energy.Energy.state_proof})
+    and the encoding measured by [Full_copy]/[Update_full] byte
+    accounting. *)
+
 val run :
   ?encoding:encoding ->
   ?budget:Ss_report.Budget.t ->

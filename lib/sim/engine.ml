@@ -86,8 +86,18 @@ let step algo config selected =
    between steps), so the final, budget-crossing step executes only a
    prefix of the daemon's selection, in the daemon's order. *)
 let cap_selection ~budget selected =
-  if List.length selected <= budget then selected
-  else List.filteri (fun i _ -> i < budget) selected
+  (* Single pass, sharing-preserving: returns [selected] itself when it
+     fits (the overwhelmingly common case), else its first [budget]
+     elements. *)
+  let rec go budget l =
+    match l with
+    | [] -> l
+    | _ when budget <= 0 -> []
+    | x :: tl ->
+        let tl' = go (budget - 1) tl in
+        if tl' == tl then l else x :: tl'
+  in
+  go budget selected
 
 (* The three integer/clock limits of one run, resolved from the unified
    budget plus the historical optional arguments (tightest wins). *)

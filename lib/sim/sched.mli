@@ -16,7 +16,16 @@
     retain the [neighbors] array of the view they are given beyond
     the call — every algorithm in the atomic-state model satisfies
     this (actions, which may retain data, are never handed buffered
-    views; see {!Engine}). *)
+    views; see {!Engine}).
+
+    The "only the closed neighborhood of [moved] can change" property
+    is also what makes {e guard-level} memoization sound downstream:
+    {!Ss_core.Predicates.algo_err_cached} caches verified prefixes of
+    transformer lists keyed by state identity, and relies on the fact
+    that between two evaluations of a node's guard, every state it
+    read either is physically the same value or belonged to a node in
+    some step's [moved] set — whose re-evaluation this module
+    triggers (DESIGN.md §10). *)
 
 type ('s, 'i) t
 

@@ -304,7 +304,7 @@ let init_is_read_only seed =
   let _hist, stats = run_setting ~params ~g ~inputs seed in
   let ok = ref true in
   Graph.iter_nodes g (fun p ->
-      if (Config.state stats.Engine.final p).St.init <> inputs p then ok := false);
+      if St.init (Config.state stats.Engine.final p) <> inputs p then ok := false);
   stats.Engine.terminated && !ok
 
 let qcheck_tests =

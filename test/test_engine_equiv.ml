@@ -146,7 +146,9 @@ let test_rollback_gamma () =
     incr naive
 
 (* The built-in differential hook: a full run with per-step
-   cross-validation of the incremental enabled set never diverges. *)
+   cross-validation of the incremental enabled set — and of the cached
+   algoErr predicates against the uncached reference — never
+   diverges. *)
 let test_self_check () =
   List.iter
     (fun seed ->
@@ -155,6 +157,64 @@ let test_self_check () =
         Transformer.run ~self_check:true params Daemon.synchronous start
       in
       check "terminated" true stats.Engine.terminated)
+    seeds
+
+(* Same hook across transformer instances of all three §5 simulated
+   algorithms, from corrupted starts, under two daemons: any cached
+   predicate returning a different verdict than the full-prefix
+   reference raises Engine.Divergence. *)
+let test_self_check_section5_algorithms () =
+  let checked_run name params start =
+    List.iter
+      (fun (dname, mk) ->
+        let stats =
+          Transformer.run ~self_check:true ~max_steps:200_000 params (mk ())
+            start
+        in
+        check (Printf.sprintf "%s/%s terminated" name dname) true
+          stats.Engine.terminated)
+      [
+        ("sync", fun () -> Daemon.synchronous);
+        ("distributed", fun () -> Daemon.distributed_random (Rng.create 7) ~p:0.5);
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (40 + seed) in
+      (* Leader election on a cycle. *)
+      let g = Builders.cycle 8 in
+      let inputs = Leader.random_ids rng g in
+      let params = Transformer.params Leader.algo in
+      checked_run
+        (Printf.sprintf "leader/seed%d" seed)
+        params
+        (Transformer.corrupt rng ~max_height:8 params
+           (Transformer.clean_config params g ~inputs));
+      (* BFS tree on a random connected graph. *)
+      let g = Builders.random_connected rng ~n:10 ~extra_edges:4 in
+      let inputs = Ss_algos.Bfs_tree.inputs g ~root:0 in
+      let params = Transformer.params Ss_algos.Bfs_tree.algo in
+      checked_run
+        (Printf.sprintf "bfs/seed%d" seed)
+        params
+        (Transformer.corrupt rng ~max_height:8 params
+           (Transformer.clean_config params g ~inputs));
+      (* Greedy Cole-Vishkin coloring on a ring. *)
+      let n = 9 and width = 6 in
+      let g = Builders.cycle n in
+      let ids = Ss_algos.Cole_vishkin.random_ring_ids rng ~n ~width in
+      let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width g in
+      let b = Ss_algos.Cole_vishkin.schedule_length width in
+      let params =
+        Transformer.params ~mode:Ss_core.Predicates.Greedy
+          ~bound:(Ss_core.Predicates.Finite b)
+          Ss_algos.Cole_vishkin.algo
+      in
+      checked_run
+        (Printf.sprintf "cv/seed%d" seed)
+        params
+        (Transformer.corrupt rng ~max_height:b params
+           (Transformer.clean_config params g ~inputs)))
     seeds
 
 (* Unit check of the dirty-set invariant: after a single-node change,
@@ -198,6 +258,8 @@ let () =
         [
           Alcotest.test_case "per-step cross-validation hook" `Quick
             test_self_check;
+          Alcotest.test_case "cached predicates on all section-5 algorithms"
+            `Quick test_self_check_section5_algorithms;
           Alcotest.test_case "sched dirty-set locality" `Quick
             test_sched_locality;
         ] );

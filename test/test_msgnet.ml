@@ -33,6 +33,42 @@ let setting seed =
   in
   (rng, g, inputs, params, hist, start)
 
+let test_wire_canonicalization () =
+  (* Two logically equal states built by different operation sequences
+     must encode to the same bytes (and hence the same proof hash and
+     the same measured bits): the backing buffer's spare capacity,
+     version stamps and sharing never reach the wire. *)
+  let module St = Core.Trans_state in
+  let module Energy = Ss_energy.Energy in
+  let direct = St.make ~init:5 ~status:St.C ~cells:[| 4; 3; 2 |] in
+  let grown =
+    (* Build by extension (with a detour that exercises truncation and
+       a status round-trip), leaving spare capacity behind. *)
+    let s = St.clean 5 in
+    let s = St.extend s 4 in
+    let s = St.extend s 9 in
+    let s = St.truncate s 1 in
+    let s = St.extend s 3 in
+    let s = St.extend s 2 in
+    St.with_status (St.with_status s St.E) St.C
+  in
+  check "logically equal" true (St.equal Int.equal direct grown);
+  check "stamps differ (different constructions)" true
+    (St.stamp direct <> St.stamp grown);
+  Alcotest.(check string)
+    "identical wire encodings"
+    (M.canonical_bytes direct) (M.canonical_bytes grown);
+  check "identical proof hashes" true
+    (Energy.state_proof ~nonce:7L (M.canonical_bytes direct)
+    = Energy.state_proof ~nonce:7L (M.canonical_bytes grown));
+  check_int "identical measured bits"
+    (Energy.full_state_bits Min_flood.algo direct)
+    (Energy.full_state_bits Min_flood.algo grown);
+  (* And a branch that shares the buffer with [direct] but differs
+     logically must encode differently. *)
+  check "different states, different bytes" true
+    (M.canonical_bytes (St.truncate direct 2) <> M.canonical_bytes direct)
+
 let test_clean_start_full_encoding () =
   let g = Builders.cycle 6 in
   let inputs p = p + 3 in
@@ -250,6 +286,8 @@ let () =
     [
       ( "protocol",
         [
+          Alcotest.test_case "wire canonicalization" `Quick
+            test_wire_canonicalization;
           Alcotest.test_case "clean start, full encoding" `Quick
             test_clean_start_full_encoding;
           Alcotest.test_case "corrupted mirrors repaired" `Quick

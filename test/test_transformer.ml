@@ -76,6 +76,37 @@ let test_clean () =
   check "status C" true (not (St.in_error s));
   check_int "top = init" 7 (St.top s)
 
+let test_boxed_divergence () =
+  (* Branches extended from a shared prefix with physically distinct
+     cells must not clobber each other (copy-on-write), while
+     re-appending the physically identical cell re-adopts the
+     committed slot in place. *)
+  let eq = St.equal (List.equal Int.equal) in
+  let mk cells = St.make ~init:[ 0 ] ~status:St.C ~cells in
+  let base = mk [| [ 1 ]; [ 2 ] |] in
+  let t = St.truncate base 1 in
+  let a = St.extend t [ 9 ] in
+  (* A fresh box structurally equal to base's cell 2 — built at runtime
+     because the compiler shares equal constant literals. *)
+  let b = St.extend t (List.init 1 (fun _ -> 2)) in
+  check "base unchanged" true (eq base (mk [| [ 1 ]; [ 2 ] |]));
+  check "diverged branch" true (eq a (mk [| [ 1 ]; [ 9 ] |]));
+  check "equal-content branch" true (eq b base);
+  let c = St.extend t (St.cell base 2) in
+  check "aliased re-extension re-adopts" true (eq c base);
+  check "same backing buffer" true (St.rep_id c = St.rep_id base);
+  check "copy-on-write minted a buffer" true (St.rep_id b <> St.rep_id base)
+
+let test_stamps () =
+  let s = st 5 [ 4 ] in
+  check "same construction, same stamp" true (St.stamp s = St.stamp s);
+  check "equal values, distinct constructions" true
+    (St.stamp (st 5 [ 4 ]) <> St.stamp s);
+  check "extend restamps" true (St.stamp (St.extend s 1) <> St.stamp s);
+  check "truncate restamps" true (St.stamp (St.truncate s 0) <> St.stamp s);
+  check "no-op with_status keeps the stamp" true
+    (St.stamp (St.with_status s St.C) = St.stamp s)
+
 (* ------------------------------------------------------------------ *)
 (* Predicates: algoErr                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -257,7 +288,7 @@ let test_rr_action_resets () =
   let s' = r.Algorithm.action v in
   check_int "height reset" 0 (St.height s');
   check "in error" true (St.in_error s');
-  check_int "init preserved" 5 s'.St.init
+  check_int "init preserved" 5 (St.init s')
 
 let test_rr_not_reenabled_at_zero () =
   (* A root in error with an empty list must not fire RR again (guard
@@ -339,7 +370,7 @@ let test_corrupt_preserves_init_and_caps () =
     let c = Transformer.corrupt (Rng.split rng) ~max_height:20 params clean in
     Graph.iter_nodes g (fun p ->
         let s = Config.state c p in
-        check_int "init preserved" p s.St.init;
+        check_int "init preserved" p (St.init s);
         check "height capped at B" true (St.height s <= 5))
   done
 
@@ -356,7 +387,7 @@ let test_clean_config_shape () =
   let c = Transformer.clean_config lazy_params g ~inputs:(fun p -> 10 * p) in
   Graph.iter_nodes g (fun p ->
       let s = Config.state c p in
-      check_int "init from sync init" (10 * p) s.St.init;
+      check_int "init from sync init" (10 * p) (St.init s);
       check_int "empty list" 0 (St.height s);
       check "status C" true (not (St.in_error s)))
 
@@ -524,9 +555,97 @@ let random_view rng =
     neighbors = Array.init deg (fun _ -> random_trans_state rng);
   }
 
+(* Model-based equivalence: Trans_state against a pure (status, init,
+   cells-array) model, under random interleavings of the whole API —
+   including branching (value semantics: operations on one branch must
+   never disturb another) and aliased re-extensions from a shared
+   prefix. *)
+let qcheck_state_model =
+  QCheck.Test.make ~count:100
+    ~name:"Trans_state matches the pure-array model under random ops"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let max_pool = 24 in
+      let pool = ref [] and size = ref 0 in
+      let add m s =
+        if !size < max_pool then begin
+          pool := (m, s) :: !pool;
+          incr size
+        end
+        else begin
+          let victim = Rng.int rng max_pool in
+          pool := List.mapi (fun i p -> if i = victim then (m, s) else p) !pool
+        end
+      in
+      let model_of s = (St.status s, St.init s, St.cells s) in
+      let seed_state () =
+        let s =
+          St.make ~init:(Rng.int rng 20)
+            ~status:(if Rng.bool rng then St.C else St.E)
+            ~cells:(Array.init (Rng.int rng 4) (fun _ -> Rng.int rng 20))
+        in
+        add (model_of s) s
+      in
+      seed_state ();
+      seed_state ();
+      let pick () = List.nth !pool (Rng.int rng !size) in
+      let ok = ref true in
+      let matches ((status, init, cells), s) =
+        St.status s = status
+        && St.init s = init
+        && St.height s = Array.length cells
+        && St.cell s 0 = init
+        && Array.for_all Fun.id
+             (Array.mapi (fun i c -> St.cell s (i + 1) = c) cells)
+        && St.snapshot s = (status, init, cells)
+        && St.cells s = cells
+        && St.fold_cells (fun acc c -> c :: acc) [] s
+           = List.rev (Array.to_list cells)
+      in
+      for _ = 1 to 120 do
+        (match Rng.int rng 6 with
+        | 0 -> seed_state ()
+        | 1 ->
+            let (st_, i, cells), s = pick () in
+            let x = Rng.int rng 20 in
+            add (st_, i, Array.append cells [| x |]) (St.extend s x)
+        | 2 ->
+            let (st_, i, cells), s = pick () in
+            let k = Rng.int rng (Array.length cells + 1) in
+            add (st_, i, Array.sub cells 0 k) (St.truncate s k)
+        | 3 ->
+            let (_, i, cells), s = pick () in
+            let status = if Rng.bool rng then St.C else St.E in
+            add (status, i, cells) (St.with_status s status)
+        | 4 ->
+            let (_, i, _), s = pick () in
+            add (St.E, i, [||]) (St.wipe s)
+        | _ ->
+            (* Branch below the frontier, then re-extend — half the
+               time with the committed value (the alias path), half
+               with a fresh one (copy-on-write). *)
+            let (st_, i, cells), s = pick () in
+            let h = Array.length cells in
+            if h = 0 then seed_state ()
+            else begin
+              let k = Rng.int rng h in
+              let t = St.truncate s k in
+              let x = if Rng.bool rng then cells.(k) else Rng.int rng 20 in
+              add
+                (st_, i, Array.append (Array.sub cells 0 k) [| x |])
+                (St.extend t x)
+            end);
+        List.iter (fun p -> if not (matches p) then ok := false) !pool;
+        let m1, s1 = pick () and m2, s2 = pick () in
+        if St.equal Int.equal s1 s2 <> (m1 = m2) then ok := false
+      done;
+      !ok)
+
 let qcheck_tests =
   let open QCheck in
   [
+    qcheck_state_model;
     Test.make ~count:500 ~name:"RC and RU guards are mutually exclusive"
       small_int
       (fun seed ->
@@ -591,6 +710,8 @@ let () =
           Alcotest.test_case "truncate/extend" `Quick test_state_truncate_extend;
           Alcotest.test_case "equality" `Quick test_state_equal;
           Alcotest.test_case "clean" `Quick test_clean;
+          Alcotest.test_case "boxed divergence" `Quick test_boxed_divergence;
+          Alcotest.test_case "stamps" `Quick test_stamps;
         ] );
       ( "algo-err",
         [
