@@ -222,6 +222,14 @@ let bench_algo_err ~cached ~h () =
     flip := not !flip;
     assert (not (eval (if !flip then vb else va)))
 
+(* Graph construction at n=4096 exercises the O(n+m) validator
+   (hashed symmetry probes); the old O(sum deg^2) symmetry scan made
+   this the dominant cost of building dense-ish random graphs. *)
+let bench_graph_construct ~n () =
+  fun () ->
+    let rng = Rng.create 11 in
+    ignore (G.Builders.random_connected rng ~n ~extra_edges:(n / 2))
+
 let bench_rollback_scan () =
   let config = Ss_rollback.Blowup.initial_config ~k:4 in
   let algo =
@@ -231,6 +239,60 @@ let bench_rollback_scan () =
   fun () -> ignore (Sim.Config.enabled_nodes algo config)
 
 let bench_gamma () = fun () -> ignore (Ss_rollback.Blowup.gamma 8)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign sweep                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One representative slice of the experiment campaign — the same row
+   functions the tables above use, with printing suppressed.  Output
+   is byte-identical for every job count (DESIGN.md §11), so the sweep
+   measures pure scheduling overhead/speedup. *)
+let campaign_once () =
+  ignore (Ss_expt.Table1.lazy_rows ~seeds (fresh_rng ()));
+  ignore (Ss_expt.Table1.greedy_rows ~seeds (fresh_rng ()));
+  ignore (Ss_expt.Energy_expt.rows ~seeds (fresh_rng ()));
+  ignore (Ss_expt.Msgnet_expt.rows ~seeds (fresh_rng ()));
+  ignore (Ss_expt.Blowup_expt.rows ~max_k:9 ());
+  ignore (Ss_expt.Ablation_expt.rows ~seeds (fresh_rng ()))
+
+(* Wall time of the campaign at -j 1 / 2 / 4, plus the j4-vs-j1
+   speedup.  On a single hardware thread the "speedup" is honestly
+   < 1x (extra domains only add GC coordination); the row exists so
+   multi-core machines record their real scaling in BENCH_engine.json. *)
+let parallel_sweep () =
+  let time_at j =
+    Ss_par.Par.set_jobs j;
+    let t0 = Unix.gettimeofday () in
+    campaign_once ();
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time_at 1) (* warm-up: code + allocator, off the record *);
+  let sweep = List.map (fun j -> (j, time_at j)) [ 1; 2; 4 ] in
+  Ss_par.Par.set_jobs (Ss_par.Par.default_jobs ());
+  let t1 = List.assoc 1 sweep and t4 = List.assoc 4 sweep in
+  let rows =
+    List.map
+      (fun (j, t) ->
+        [
+          Table.S (Printf.sprintf "campaign-sweep/j%d" j);
+          Table.I (int_of_float (t *. 1e9));
+        ])
+      sweep
+    @ [
+        [
+          Table.S "campaign-speedup/j4-vs-j1";
+          Table.S (Printf.sprintf "%.2fx" (t1 /. t4));
+        ];
+      ]
+  in
+  Printf.printf
+    "== parallel campaign sweep ==\nj1 %.2fs  j2 %.2fs  j4 %.2fs  (j4 \
+     speedup %.2fx, %d hardware thread%s)\n%!"
+    t1 (List.assoc 2 sweep) t4 (t1 /. t4)
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  rows
 
 (* Machine-readable results, written next to the printed tables so the
    perf trajectory is trackable across PRs.  Both renderings read the
@@ -301,6 +363,8 @@ let micro_benchmarks () =
             (Staged.stage (bench_deep_ladder ~cached:true ~n:256 ()));
           Test.make ~name:"deep-ladder-uncached/path256"
             (Staged.stage (bench_deep_ladder ~cached:false ~n:256 ()));
+          Test.make ~name:"graph-construct/random4096"
+            (Staged.stage (bench_graph_construct ~n:4096 ()));
           Test.make ~name:"rollback-scan/G4"
             (Staged.stage (bench_rollback_scan ()));
           Test.make ~name:"gamma-schedule/k8" (Staged.stage (bench_gamma ()));
@@ -360,6 +424,7 @@ let micro_benchmarks () =
   let msgnet, engine = List.partition is_msgnet estimates in
   let engine_table = bench_table "engine micro-benchmarks" engine in
   let msgnet_table = bench_table "msgnet micro-benchmarks" msgnet in
+  List.iter (Table.add engine_table) (parallel_sweep ());
   emit_json "BENCH_engine.json" "engine micro-benchmarks" engine_table;
   emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table
 

@@ -112,11 +112,26 @@ let corrupt_arg =
 let json_arg =
   Arg.(
     value & flag
-    & info [ "j"; "json" ]
+    & info [ "json" ]
         ~doc:
           "Emit machine-readable JSON instead of text tables.  Every row \
            comes from the same typed record as the printed table, so the \
            two are content-identical.")
+
+(* Global parallelism knob.  Every subcommand accepts it; the campaign
+   layer fans its rows out over a shared Ss_par pool, and the
+   determinism contract (DESIGN.md §11) makes the output byte-identical
+   for every value of $(b,-j). *)
+let jobs_arg =
+  let doc =
+    "Number of worker domains for parallel experiment fan-out (default: \
+     the runtime's recommended domain count).  Output is byte-identical \
+     for every value."
+  in
+  Arg.(
+    value
+    & opt int (Ss_par.Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* run: one transformed algorithm under one adversary                   *)
@@ -246,10 +261,11 @@ let run_cmd =
   in
   let term =
     Term.(
-      const (fun json algo_name topology daemon seed mode bound p ->
+      const (fun jobs json algo_name topology daemon seed mode bound p ->
+          Ss_par.Par.set_jobs jobs;
           run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p)
-      $ json_arg $ algo $ topology_arg $ daemon_arg $ seed_arg $ mode_arg
-      $ bound_arg $ corrupt_arg)
+      $ jobs_arg $ json_arg $ algo $ topology_arg $ daemon_arg $ seed_arg
+      $ mode_arg $ bound_arg $ corrupt_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -275,7 +291,8 @@ let section ~json title table =
     Table.print table
   end
 
-let table1_run json which seed seeds =
+let table1_run jobs json which seed seeds =
+  Ss_par.Par.set_jobs jobs;
   let rng () = Rng.create seed in
   let seeds = seeds_list seeds in
   if which = "lazy" || which = "all" then
@@ -299,9 +316,10 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the complexity rows of Table 1.")
-    Term.(const table1_run $ json_arg $ which $ seed_arg $ seeds_arg)
+    Term.(const table1_run $ jobs_arg $ json_arg $ which $ seed_arg $ seeds_arg)
 
-let instances_run json which seed seeds =
+let instances_run jobs json which seed seeds =
+  Ss_par.Par.set_jobs jobs;
   let rng () = Rng.create seed in
   let seeds = seeds_list seeds in
   if which = "leader" || which = "all" then
@@ -326,9 +344,11 @@ let instances_cmd =
   in
   Cmd.v
     (Cmd.info "instances" ~doc:"Reproduce the §5 instance experiments.")
-    Term.(const instances_run $ json_arg $ which $ seed_arg $ seeds_arg)
+    Term.(
+      const instances_run $ jobs_arg $ json_arg $ which $ seed_arg $ seeds_arg)
 
-let rollback_run json max_k =
+let rollback_run jobs json max_k =
+  Ss_par.Par.set_jobs jobs;
   section ~json "§7 / Figure 1: rollback blow-up vs transformer"
     (Ss_expt.Blowup_expt.rows ~max_k ());
   0
@@ -342,9 +362,10 @@ let rollback_cmd =
        ~doc:
          "Reproduce the exponential move complexity of the rollback compiler \
           on the G_k family (validated schedule Γ_k).")
-    Term.(const rollback_run $ json_arg $ max_k)
+    Term.(const rollback_run $ jobs_arg $ json_arg $ max_k)
 
-let energy_run json seed seeds =
+let energy_run jobs json seed seeds =
+  Ss_par.Par.set_jobs jobs;
   section ~json "§6 message/energy accounting"
     (Ss_expt.Energy_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
@@ -352,9 +373,10 @@ let energy_run json seed seeds =
 let energy_cmd =
   Cmd.v
     (Cmd.info "energy" ~doc:"Reproduce the §6 message-size comparison.")
-    Term.(const energy_run $ json_arg $ seed_arg $ seeds_arg)
+    Term.(const energy_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
-let ablation_run json seed seeds =
+let ablation_run jobs json seed seeds =
+  Ss_par.Par.set_jobs jobs;
   section ~json "ablation: removing RP or the RC window breaks the transformer"
     (Ss_expt.Ablation_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
@@ -365,9 +387,10 @@ let ablation_cmd =
        ~doc:
          "Compare the full rule set against the no-RP and eager-RC ablations \
           (stuck/live-lock rates, worst moves).")
-    Term.(const ablation_run $ json_arg $ seed_arg $ seeds_arg)
+    Term.(const ablation_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
-let msgnet_run json seed seeds =
+let msgnet_run jobs json seed seeds =
+  Ss_par.Par.set_jobs jobs;
   section ~json "§6 end-to-end: transformer over message passing"
     (Ss_expt.Msgnet_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed));
   0
@@ -378,9 +401,10 @@ let msgnet_cmd =
        ~doc:
          "Run the message-passing realization (mirrors, heartbeat proofs, \
           delta encoding) end-to-end and report traffic.")
-    Term.(const msgnet_run $ json_arg $ seed_arg $ seeds_arg)
+    Term.(const msgnet_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
-let baselines_run json seed seeds =
+let baselines_run jobs json seed seeds =
+  Ss_par.Par.set_jobs jobs;
   section ~json "hand-crafted min+1 BFS vs transformed BFS"
     (Ss_expt.Baselines_expt.bfs_rows ~seeds:(seeds_list seeds) (Rng.create seed));
   section ~json "Dijkstra's token ring [27]"
@@ -393,7 +417,7 @@ let baselines_cmd =
        ~doc:
          "Compare hand-crafted self-stabilizing baselines (min+1 BFS, \
           Dijkstra's token ring) against the transformer.")
-    Term.(const baselines_run $ json_arg $ seed_arg $ seeds_arg)
+    Term.(const baselines_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: dump one execution as CSV                                     *)
@@ -478,16 +502,16 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment table in sequence.")
     Term.(
-      const (fun json seed seeds ->
-          ignore (table1_run json "all" seed seeds);
-          ignore (instances_run json "all" seed seeds);
-          ignore (rollback_run json 10);
-          ignore (energy_run json seed seeds);
-          ignore (msgnet_run json seed seeds);
-          ignore (ablation_run json seed seeds);
-          ignore (baselines_run json seed seeds);
+      const (fun jobs json seed seeds ->
+          ignore (table1_run jobs json "all" seed seeds);
+          ignore (instances_run jobs json "all" seed seeds);
+          ignore (rollback_run jobs json 10);
+          ignore (energy_run jobs json seed seeds);
+          ignore (msgnet_run jobs json seed seeds);
+          ignore (ablation_run jobs json seed seeds);
+          ignore (baselines_run jobs json seed seeds);
           0)
-      $ json_arg $ seed_arg $ seeds_arg)
+      $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
 let main =
   Cmd.group

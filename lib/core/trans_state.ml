@@ -23,16 +23,17 @@ type 's t = {
          logically equal. *)
 }
 
-let buffer_counter = ref 0
-let stamp_counter = ref 0
+(* Atomic: states are constructed concurrently by campaign pool tasks
+   (DESIGN.md §11), and both the O(1) [equal] fast path and the
+   Predicates watermark cache are only sound if stamps / buffer ids
+   are globally unique — a racy [incr] could mint duplicates. *)
+let buffer_counter = Atomic.make 0
+let stamp_counter = Atomic.make 0
 
-let fresh_stamp () =
-  incr stamp_counter;
-  !stamp_counter
+let fresh_stamp () = 1 + Atomic.fetch_and_add stamp_counter 1
 
 let fresh_buffer data committed =
-  incr buffer_counter;
-  { id = !buffer_counter; data; committed }
+  { id = 1 + Atomic.fetch_and_add buffer_counter 1; data; committed }
 
 let make ~init ~status ~cells =
   (* Defensive copy: the caller keeps ownership of [cells]. *)

@@ -68,67 +68,84 @@ let bfs_rows ?(seeds = [ 1; 2 ]) rng =
       ("random", G.Builders.random_connected (Rng.split rng) ~n:24 ~extra_edges:12);
     ]
   in
-  List.iter
-    (fun (name, g) ->
-      let root = 0 in
-      let nm, _nr, nok = naive_worst_case (Rng.split rng) g ~root seeds in
-      let adv_moves, adv_ok =
-        Naive.adversarial_run
-          (Config.make g ~inputs:(Naive.inputs g ~root ()) ~states:(fun _ -> 0))
-      in
-      let tm, tr, tok = transformed_worst_case (Rng.split rng) g ~root seeds in
-      Table.add table
-        [
-          Table.S name;
-          Table.I (G.Graph.n g);
-          Table.I (G.Properties.diameter g);
-          Table.I nm;
-          Table.I adv_moves;
-          Table.I tm;
-          Table.I tr;
-          Table.S (if nok && tok && adv_ok then "yes" else "NO");
-        ])
-    workloads;
+  (* One pool task per workload; the two historical per-workload splits
+     are pre-derived in order (DESIGN.md §11). *)
+  let tasks =
+    List.rev
+      (List.fold_left
+         (fun acc (name, g) ->
+           let naive_rng = Rng.split rng in
+           let trans_rng = Rng.split rng in
+           (name, g, naive_rng, trans_rng) :: acc)
+         [] workloads)
+  in
+  List.iter (Table.add table)
+    (Ss_par.Par.map
+       (fun (name, g, naive_rng, trans_rng) ->
+         let root = 0 in
+         let nm, _nr, nok = naive_worst_case naive_rng g ~root seeds in
+         let adv_moves, adv_ok =
+           Naive.adversarial_run
+             (Config.make g
+                ~inputs:(Naive.inputs g ~root ())
+                ~states:(fun _ -> 0))
+         in
+         let tm, tr, tok = transformed_worst_case trans_rng g ~root seeds in
+         [
+           Table.S name;
+           Table.I (G.Graph.n g);
+           Table.I (G.Properties.diameter g);
+           Table.I nm;
+           Table.I adv_moves;
+           Table.I tm;
+           Table.I tr;
+           Table.S (if nok && tok && adv_ok then "yes" else "NO");
+         ])
+       tasks);
   table
 
 let dijkstra_rows ?(seeds = [ 1; 2; 3 ]) rng =
   let table =
     Table.create [ "n"; "K"; "steps-to-legit"; "moves-to-legit"; "closure" ]
   in
-  List.iter
-    (fun n ->
-      let g = G.Builders.cycle n in
-      let inputs = Dijkstra.inputs ~n () in
-      let worst_steps = ref 0 and worst_moves = ref 0 and closure = ref true in
-      List.iter
-        (fun seed ->
-          let seed_rng = Rng.create (seed * 17) in
-          let start =
-            Config.make g ~inputs ~states:(fun _ ->
-                Rng.int seed_rng (n + 1))
-          in
-          List.iter
-            (fun (_name, daemon) ->
-              match Dijkstra.run_to_legitimacy daemon start with
-              | Some (steps, moves, legit_config) ->
-                  worst_steps := max !worst_steps steps;
-                  worst_moves := max !worst_moves moves;
-                  closure :=
-                    !closure
-                    && Dijkstra.closure_holds
-                         (Ss_sim.Daemon.central_random (Rng.split seed_rng))
-                         legit_config
-              | None -> closure := false)
-            (Stabilization.daemon_portfolio seed_rng))
-        seeds;
-      Table.add table
-        [
-          Table.I n;
-          Table.I (n + 1);
-          Table.I !worst_steps;
-          Table.I !worst_moves;
-          Table.S (if !closure then "yes" else "NO");
-        ])
-    [ 5; 9; 17; 33 ];
+  List.iter (Table.add table)
+    (Ss_par.Par.map
+       (fun n ->
+         (* Self-contained task: every draw comes from the per-seed
+            generators, so ring sizes can run on any domain. *)
+         let g = G.Builders.cycle n in
+         let inputs = Dijkstra.inputs ~n () in
+         let worst_steps = ref 0
+         and worst_moves = ref 0
+         and closure = ref true in
+         List.iter
+           (fun seed ->
+             let seed_rng = Rng.create (seed * 17) in
+             let start =
+               Config.make g ~inputs ~states:(fun _ ->
+                   Rng.int seed_rng (n + 1))
+             in
+             List.iter
+               (fun (_name, daemon) ->
+                 match Dijkstra.run_to_legitimacy daemon start with
+                 | Some (steps, moves, legit_config) ->
+                     worst_steps := max !worst_steps steps;
+                     worst_moves := max !worst_moves moves;
+                     closure :=
+                       !closure
+                       && Dijkstra.closure_holds
+                            (Ss_sim.Daemon.central_random (Rng.split seed_rng))
+                            legit_config
+                 | None -> closure := false)
+               (Stabilization.daemon_portfolio seed_rng))
+           seeds;
+         [
+           Table.I n;
+           Table.I (n + 1);
+           Table.I !worst_steps;
+           Table.I !worst_moves;
+           Table.S (if !closure then "yes" else "NO");
+         ])
+       [ 5; 9; 17; 33 ]);
   ignore rng;
   table

@@ -40,31 +40,35 @@ let rows ?(max_k = 9) ?(seeds = [ 1 ]) () =
         "ratio"; "ok";
       ]
   in
-  for k = 1 to max_k do
-    let r = Blowup.run ~k () in
-    let trans_moves, trans_ok =
-      List.fold_left
-        (fun (worst, ok) seed ->
-          let rng = Rng.create seed in
-          List.fold_left
-            (fun (worst, ok) (_name, daemon) ->
-              let m, t = transformer_on_fig1 ~k ~daemon in
-              (max worst m, ok && t))
-            (worst, ok)
-            (Stabilization.daemon_portfolio rng))
-        (0, true) seeds
-    in
-    Table.add_row table
-      [
-        string_of_int k;
-        string_of_int r.Blowup.n;
-        string_of_int (Blowup.bound_for k);
-        string_of_int r.Blowup.schedule_moves;
-        string_of_int r.Blowup.total_moves;
-        string_of_int trans_moves;
-        Printf.sprintf "%.1f"
-          (float_of_int r.Blowup.total_moves /. float_of_int (max 1 trans_moves));
-        (if r.Blowup.stabilized && trans_ok then "yes" else "NO");
-      ]
-  done;
+  (* One pool task per k; each task owns its configs, daemons and
+     generators outright ([Rng.create seed] only). *)
+  List.iter (Table.add_row table)
+    (Ss_par.Par.map
+       (fun k ->
+         let r = Blowup.run ~k () in
+         let trans_moves, trans_ok =
+           List.fold_left
+             (fun (worst, ok) seed ->
+               let rng = Rng.create seed in
+               List.fold_left
+                 (fun (worst, ok) (_name, daemon) ->
+                   let m, t = transformer_on_fig1 ~k ~daemon in
+                   (max worst m, ok && t))
+                 (worst, ok)
+                 (Stabilization.daemon_portfolio rng))
+             (0, true) seeds
+         in
+         [
+           string_of_int k;
+           string_of_int r.Blowup.n;
+           string_of_int (Blowup.bound_for k);
+           string_of_int r.Blowup.schedule_moves;
+           string_of_int r.Blowup.total_moves;
+           string_of_int trans_moves;
+           Printf.sprintf "%.1f"
+             (float_of_int r.Blowup.total_moves
+             /. float_of_int (max 1 trans_moves));
+           (if r.Blowup.stabilized && trans_ok then "yes" else "NO");
+         ])
+       (List.init max_k (fun i -> i + 1)));
   table

@@ -1,6 +1,7 @@
 module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
 module Util = Ss_prelude.Util
+module Par = Ss_par.Par
 module G = Ss_graph
 module P = Ss_core.Predicates
 module Transformer = Ss_core.Transformer
@@ -13,39 +14,44 @@ module Sp = Ss_algos.Shortest_path
 
 let default_seeds = [ 1; 2 ]
 
+(* Rows fan out over the shared domain pool: parent-RNG splits happen
+   while the row thunks are built (in row order), each thunk draws only
+   from its own generator, and rows are appended in construction order
+   — byte-identical output for any [-j] (DESIGN.md §11). *)
+let run_rows table row_thunks =
+  List.iter (Table.add_row table) (Par.map (fun row -> row ()) row_thunks)
+
 let leader_rows ?(seeds = default_seeds) rng =
   let table =
     Table.create
       [ "family"; "n"; "D"; "rounds"; "D+T"; "moves"; "n^3"; "spec"; "legit" ]
   in
-  List.iter
-    (fun (w : Workloads.t) ->
-      let inputs = Leader.random_ids (Rng.split rng) w.Workloads.graph in
-      let sc =
-        {
-          Stabilization.params = Transformer.params Leader.algo;
-          graph = w.Workloads.graph;
-          inputs;
-        }
-      in
-      let t = (Stabilization.history sc).Sync_runner.t in
-      let spec final =
-        Leader.spec_holds w.Workloads.graph ~inputs ~final
-      in
-      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
-      Table.add_row table
-        [
-          w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int w.Workloads.diameter;
-          string_of_int agg.Measure.max_rounds;
-          string_of_int (w.Workloads.diameter + t);
-          string_of_int agg.Measure.max_moves;
-          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
-          (if agg.Measure.all_spec then "yes" else "NO");
-          (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    (Workloads.diameter_sweep () @ Workloads.standard rng);
+  run_rows table
+    (List.map
+       (fun ((w : Workloads.t), rng) () ->
+         let inputs = Leader.random_ids rng w.Workloads.graph in
+         let sc =
+           {
+             Stabilization.params = Transformer.params Leader.algo;
+             graph = w.Workloads.graph;
+             inputs;
+           }
+         in
+         let t = (Stabilization.history sc).Sync_runner.t in
+         let spec final = Leader.spec_holds w.Workloads.graph ~inputs ~final in
+         let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+         [
+           w.Workloads.family;
+           string_of_int w.Workloads.n;
+           string_of_int w.Workloads.diameter;
+           string_of_int agg.Measure.max_rounds;
+           string_of_int (w.Workloads.diameter + t);
+           string_of_int agg.Measure.max_moves;
+           string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+           (if agg.Measure.all_spec then "yes" else "NO");
+           (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (Rng.split_per rng (Workloads.diameter_sweep () @ Workloads.standard rng)));
   table
 
 let bfs_rows ?(seeds = default_seeds) rng =
@@ -53,33 +59,33 @@ let bfs_rows ?(seeds = default_seeds) rng =
     Table.create
       [ "family"; "n"; "D"; "rounds"; "D+T"; "moves"; "n^3"; "spec"; "legit" ]
   in
-  List.iter
-    (fun (w : Workloads.t) ->
-      let root = 0 in
-      let inputs = Bfs.inputs w.Workloads.graph ~root in
-      let sc =
-        {
-          Stabilization.params = Transformer.params Bfs.algo;
-          graph = w.Workloads.graph;
-          inputs;
-        }
-      in
-      let t = (Stabilization.history sc).Sync_runner.t in
-      let spec final = Bfs.spec_holds w.Workloads.graph ~root ~final in
-      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
-      Table.add_row table
-        [
-          w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int w.Workloads.diameter;
-          string_of_int agg.Measure.max_rounds;
-          string_of_int (w.Workloads.diameter + t);
-          string_of_int agg.Measure.max_moves;
-          string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
-          (if agg.Measure.all_spec then "yes" else "NO");
-          (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    (Workloads.standard rng);
+  run_rows table
+    (List.map
+       (fun ((w : Workloads.t), _rng) () ->
+         let root = 0 in
+         let inputs = Bfs.inputs w.Workloads.graph ~root in
+         let sc =
+           {
+             Stabilization.params = Transformer.params Bfs.algo;
+             graph = w.Workloads.graph;
+             inputs;
+           }
+         in
+         let t = (Stabilization.history sc).Sync_runner.t in
+         let spec final = Bfs.spec_holds w.Workloads.graph ~root ~final in
+         let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+         [
+           w.Workloads.family;
+           string_of_int w.Workloads.n;
+           string_of_int w.Workloads.diameter;
+           string_of_int agg.Measure.max_rounds;
+           string_of_int (w.Workloads.diameter + t);
+           string_of_int agg.Measure.max_moves;
+           string_of_int (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+           (if agg.Measure.all_spec then "yes" else "NO");
+           (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (List.map (fun w -> (w, rng)) (Workloads.standard rng)));
   table
 
 let cv_rows ?(seeds = default_seeds) rng =
@@ -90,37 +96,37 @@ let cv_rows ?(seeds = default_seeds) rng =
         "legit";
       ]
   in
-  List.iter
-    (fun (n, width) ->
-      let g = G.Builders.cycle n in
-      let ids = Cv.random_ring_ids (Rng.split rng) ~n ~width in
-      let inputs = Cv.inputs ~ids ~width g in
-      let t = Cv.schedule_length width in
-      let b = t in
-      let sc =
-        {
-          Stabilization.params =
-            Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Cv.algo;
-          graph = g;
-          inputs;
-        }
-      in
-      let spec final = Cv.spec_holds g ~final in
-      let agg = Measure.worst_case ~seeds ~max_height:b ~spec sc in
-      Table.add_row table
-        [
-          string_of_int n;
-          string_of_int width;
-          string_of_int (Util.log_star n);
-          string_of_int t;
-          string_of_int b;
-          string_of_int agg.Measure.max_rounds;
-          string_of_int agg.Measure.max_moves;
-          string_of_int (n * n * b);
-          (if agg.Measure.all_spec then "yes" else "NO");
-          (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    [ (8, 6); (16, 8); (64, 10); (128, 16); (256, 16) ];
+  run_rows table
+    (List.map
+       (fun ((n, width), rng) () ->
+         let g = G.Builders.cycle n in
+         let ids = Cv.random_ring_ids rng ~n ~width in
+         let inputs = Cv.inputs ~ids ~width g in
+         let t = Cv.schedule_length width in
+         let b = t in
+         let sc =
+           {
+             Stabilization.params =
+               Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Cv.algo;
+             graph = g;
+             inputs;
+           }
+         in
+         let spec final = Cv.spec_holds g ~final in
+         let agg = Measure.worst_case ~seeds ~max_height:b ~spec sc in
+         [
+           string_of_int n;
+           string_of_int width;
+           string_of_int (Util.log_star n);
+           string_of_int t;
+           string_of_int b;
+           string_of_int agg.Measure.max_rounds;
+           string_of_int agg.Measure.max_moves;
+           string_of_int (n * n * b);
+           (if agg.Measure.all_spec then "yes" else "NO");
+           (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (Rng.split_per rng [ (8, 6); (16, 8); (64, 10); (128, 16); (256, 16) ]));
   table
 
 let shortest_path_rows ?(seeds = default_seeds) rng =
@@ -128,41 +134,40 @@ let shortest_path_rows ?(seeds = default_seeds) rng =
     Table.create
       [ "family"; "n"; "D"; "T"; "rounds"; "moves"; "spec"; "legit" ]
   in
-  List.iter
-    (fun (w : Workloads.t) ->
-      let root = 0 in
-      let weight =
-        Sp.random_weights (Rng.split rng) w.Workloads.graph ~max_weight:8
-      in
-      let inputs = Sp.inputs w.Workloads.graph ~weight ~root in
-      let sc =
-        {
-          Stabilization.params = Transformer.params Sp.algo;
-          graph = w.Workloads.graph;
-          inputs;
-        }
-      in
-      let t = (Stabilization.history sc).Sync_runner.t in
-      let spec final =
-        Sp.spec_holds w.Workloads.graph ~weight ~root ~final
-      in
-      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
-      Table.add_row table
-        [
-          w.Workloads.family;
-          string_of_int w.Workloads.n;
-          string_of_int w.Workloads.diameter;
-          string_of_int t;
-          string_of_int agg.Measure.max_rounds;
-          string_of_int agg.Measure.max_moves;
-          (if agg.Measure.all_spec then "yes" else "NO");
-          (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    [
-      Workloads.make "path" (G.Builders.path 16);
-      Workloads.make "cycle" (G.Builders.cycle 16);
-      Workloads.make "grid" (G.Builders.grid ~rows:4 ~cols:4);
-      Workloads.make "random"
-        (G.Builders.random_connected (Rng.split rng) ~n:20 ~extra_edges:12);
-    ];
+  run_rows table
+    (List.map
+       (fun ((w : Workloads.t), rng) () ->
+         let root = 0 in
+         let weight =
+           Sp.random_weights rng w.Workloads.graph ~max_weight:8
+         in
+         let inputs = Sp.inputs w.Workloads.graph ~weight ~root in
+         let sc =
+           {
+             Stabilization.params = Transformer.params Sp.algo;
+             graph = w.Workloads.graph;
+             inputs;
+           }
+         in
+         let t = (Stabilization.history sc).Sync_runner.t in
+         let spec final = Sp.spec_holds w.Workloads.graph ~weight ~root ~final in
+         let agg = Measure.worst_case ~seeds ~max_height:(t + 4) ~spec sc in
+         [
+           w.Workloads.family;
+           string_of_int w.Workloads.n;
+           string_of_int w.Workloads.diameter;
+           string_of_int t;
+           string_of_int agg.Measure.max_rounds;
+           string_of_int agg.Measure.max_moves;
+           (if agg.Measure.all_spec then "yes" else "NO");
+           (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (Rng.split_per rng
+          [
+            Workloads.make "path" (G.Builders.path 16);
+            Workloads.make "cycle" (G.Builders.cycle 16);
+            Workloads.make "grid" (G.Builders.grid ~rows:4 ~cols:4);
+            Workloads.make "random"
+              (G.Builders.random_connected (Rng.split rng) ~n:20 ~extra_edges:12);
+          ]));
   table

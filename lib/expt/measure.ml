@@ -39,22 +39,33 @@ let absorb ~spec agg (r : _ Stabilization.report) =
 
 let worst_case ?track_recovery ?max_steps ?(corruption_p = 1.0)
     ?(spec = fun _ -> true) ~seeds ~max_height sc =
-  List.fold_left
-    (fun agg seed ->
-      let rng = Rng.create seed in
-      List.fold_left
-        (fun agg (_name, daemon) ->
-          let start =
-            Stabilization.corrupted_start (Rng.split rng) ~p:corruption_p
-              ~max_height sc
-          in
-          let report =
-            Stabilization.run ?track_recovery ?max_steps sc ~daemon ~start
-          in
-          absorb ~spec agg report)
-        agg
-        (Stabilization.daemon_portfolio rng))
-    empty seeds
+  (* Fan the (seed × daemon) replicas out over the shared domain pool.
+     All parent-stream consumption — portfolio construction and the
+     per-replica [Rng.split] — happens here, sequentially, in the
+     historical order; each replica then only draws from its own
+     pre-split generator and constructs its own start configuration,
+     daemon and (inside {!Stabilization.run}) algorithm.  The fold
+     over reports is in replica order and every [absorb] component is
+     commutative-associative with [empty] as identity, so the
+     aggregate is byte-identical to the sequential one for any job
+     count. *)
+  let replicas =
+    List.concat_map
+      (fun seed ->
+        let rng = Rng.create seed in
+        Rng.split_per rng (Stabilization.daemon_portfolio rng))
+      seeds
+  in
+  let reports =
+    Ss_par.Par.map
+      (fun ((_name, daemon), rng) ->
+        let start =
+          Stabilization.corrupted_start rng ~p:corruption_p ~max_height sc
+        in
+        Stabilization.run ?track_recovery ?max_steps sc ~daemon ~start)
+      replicas
+  in
+  List.fold_left (absorb ~spec) empty reports
 
 let clean_run ?max_steps sc ~daemon =
   Stabilization.run ?max_steps sc ~daemon ~start:(Stabilization.clean_start sc)

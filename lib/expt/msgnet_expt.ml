@@ -1,5 +1,6 @@
 module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
+module Par = Ss_par.Par
 module G = Ss_graph
 module Transformer = Ss_core.Transformer
 module Checker = Ss_core.Checker
@@ -29,65 +30,80 @@ let rows ?(seeds = [ 1; 2 ]) rng =
       ("random", G.Builders.random_connected (Rng.split rng) ~n:32 ~extra_edges:16);
     ]
   in
-  List.iter
-    (fun (name, g) ->
-      let inputs = Leader.random_ids (Rng.split rng) g in
-      let params = Transformer.params Leader.algo in
-      let hist = Sync_runner.run Leader.algo g ~inputs in
-      List.iter
-        (fun (enc_name, encoding) ->
-          (* Aggregate over seeds: worst bits, all-ok conjunction. *)
-          let execs = ref 0
-          and deliveries = ref 0
-          and update_bits = ref 0
-          and proof_bits = ref 0
-          and request_bits = ref 0
-          and repair_bits = ref 0
-          and total = ref 0
-          and stale = ref 0
-          and ok = ref true in
-          List.iter
-            (fun seed ->
-              let seed_rng = Rng.create (seed * 101) in
-              let start =
-                Transformer.corrupt (Rng.split seed_rng)
-                  ~max_height:(hist.Sync_runner.t + 4)
-                  params
-                  (Transformer.clean_config params g ~inputs)
-              in
-              let final, stats = M.run ~encoding ~rng:seed_rng params start in
-              execs := max !execs stats.M.rule_executions;
-              deliveries := max !deliveries stats.M.deliveries;
-              update_bits := max !update_bits stats.M.update_bits;
-              proof_bits := max !proof_bits stats.M.proof_bits;
-              request_bits :=
-                max !request_bits
-                  (stats.M.request_messages
-                  * Ss_energy.Energy.request_message_bits);
-              repair_bits := max !repair_bits stats.M.full_copy_bits;
-              total := max !total (M.total_bits stats);
-              stale := max !stale stats.M.stale_proof_messages;
-              ok :=
-                !ok && stats.M.quiescent
-                && Checker.legitimate_terminal params hist final = Ok ())
-            seeds;
-          (* Typed cells: the printed table and the JSON rows emitted
-             by Run_report.of_table read the same record. *)
-          Table.add table
-            [
-              Table.S name;
-              Table.I (G.Graph.n g);
-              Table.S enc_name;
-              Table.I !execs;
-              Table.I !deliveries;
-              Table.I !update_bits;
-              Table.I !proof_bits;
-              Table.I !request_bits;
-              Table.I !repair_bits;
-              Table.I !total;
-              Table.I !stale;
-              Table.S (if !ok then "yes" else "NO");
-            ])
-        [ ("full", M.Full_state); ("delta", M.Delta) ])
-    workloads;
+  (* Per-workload setup consumes the parent stream sequentially (one
+     split per workload, as ever); the (workload × encoding) rows then
+     fan out over the shared pool, every task drawing only from
+     [Rng.create (seed * 101)] and owning its protocol state. *)
+  let contexts =
+    List.map
+      (fun ((name, g), rng) ->
+        let inputs = Leader.random_ids rng g in
+        let params = Transformer.params Leader.algo in
+        let hist = Sync_runner.run Leader.algo g ~inputs in
+        (name, g, inputs, params, hist))
+      (Rng.split_per rng workloads)
+  in
+  let tasks =
+    List.concat_map
+      (fun ctx ->
+        List.map
+          (fun enc -> (ctx, enc))
+          [ ("full", M.Full_state); ("delta", M.Delta) ])
+      contexts
+  in
+  List.iter (Table.add table)
+    (Par.map
+       (fun ((name, g, inputs, params, hist), (enc_name, encoding)) ->
+         (* Aggregate over seeds: worst bits, all-ok conjunction. *)
+         let execs = ref 0
+         and deliveries = ref 0
+         and update_bits = ref 0
+         and proof_bits = ref 0
+         and request_bits = ref 0
+         and repair_bits = ref 0
+         and total = ref 0
+         and stale = ref 0
+         and ok = ref true in
+         List.iter
+           (fun seed ->
+             let seed_rng = Rng.create (seed * 101) in
+             let start =
+               Transformer.corrupt (Rng.split seed_rng)
+                 ~max_height:(hist.Sync_runner.t + 4)
+                 params
+                 (Transformer.clean_config params g ~inputs)
+             in
+             let final, stats = M.run ~encoding ~rng:seed_rng params start in
+             execs := max !execs stats.M.rule_executions;
+             deliveries := max !deliveries stats.M.deliveries;
+             update_bits := max !update_bits stats.M.update_bits;
+             proof_bits := max !proof_bits stats.M.proof_bits;
+             request_bits :=
+               max !request_bits
+                 (stats.M.request_messages
+                 * Ss_energy.Energy.request_message_bits);
+             repair_bits := max !repair_bits stats.M.full_copy_bits;
+             total := max !total (M.total_bits stats);
+             stale := max !stale stats.M.stale_proof_messages;
+             ok :=
+               !ok && stats.M.quiescent
+               && Checker.legitimate_terminal params hist final = Ok ())
+           seeds;
+         (* Typed cells: the printed table and the JSON rows emitted
+            by Run_report.of_table read the same record. *)
+         [
+           Table.S name;
+           Table.I (G.Graph.n g);
+           Table.S enc_name;
+           Table.I !execs;
+           Table.I !deliveries;
+           Table.I !update_bits;
+           Table.I !proof_bits;
+           Table.I !request_bits;
+           Table.I !repair_bits;
+           Table.I !total;
+           Table.I !stale;
+           Table.S (if !ok then "yes" else "NO");
+         ])
+       tasks);
   table

@@ -1,5 +1,6 @@
 module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
+module Par = Ss_par.Par
 module P = Ss_core.Predicates
 module Transformer = Ss_core.Transformer
 module Stabilization = Ss_verify.Stabilization
@@ -22,7 +23,17 @@ let sync_time sc = (Stabilization.history sc).Sync_runner.t
 (* Rows are built from typed cells (Table.S / Table.I) so the text
    renderer and the JSON serializer (Run_report.of_table) read the very
    same record — the machine-readable output cannot drift from the
-   printed table. *)
+   printed table.
+
+   Each table fans its rows out over the shared domain pool
+   (DESIGN.md §11): every parent-RNG split happens sequentially while
+   the row thunks are BUILT, each thunk draws only from its own
+   pre-split generator, and the computed cell rows are appended in
+   construction order — so the rendering is byte-identical for any
+   [-j]. *)
+
+let run_rows table row_thunks =
+  List.iter (Table.add table) (Par.map (fun row -> row ()) row_thunks)
 
 let lazy_rows ?(seeds = default_seeds) rng =
   let table =
@@ -31,26 +42,26 @@ let lazy_rows ?(seeds = default_seeds) rng =
         "family"; "n"; "D"; "T"; "moves"; "n^3+nT"; "rounds"; "D+T"; "legit";
       ]
   in
-  List.iter
-    (fun (w : Workloads.t) ->
-      let sc = leader_scenario (Rng.split rng) w in
-      let t = sync_time sc in
-      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
-      Table.add table
-        [
-          Table.S w.Workloads.family;
-          Table.I w.Workloads.n;
-          Table.I w.Workloads.diameter;
-          Table.I t;
-          Table.I agg.Measure.max_moves;
-          Table.I
-            ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
-            + (w.Workloads.n * t));
-          Table.I agg.Measure.max_rounds;
-          Table.I (w.Workloads.diameter + t);
-          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    (Workloads.standard rng);
+  run_rows table
+    (List.map
+       (fun ((w : Workloads.t), rng) () ->
+         let sc = leader_scenario rng w in
+         let t = sync_time sc in
+         let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
+         [
+           Table.S w.Workloads.family;
+           Table.I w.Workloads.n;
+           Table.I w.Workloads.diameter;
+           Table.I t;
+           Table.I agg.Measure.max_moves;
+           Table.I
+             ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+             + (w.Workloads.n * t));
+           Table.I agg.Measure.max_rounds;
+           Table.I (w.Workloads.diameter + t);
+           Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (Rng.split_per rng (Workloads.standard rng)));
   table
 
 let greedy_rows ?(seeds = default_seeds) rng =
@@ -59,7 +70,7 @@ let greedy_rows ?(seeds = default_seeds) rng =
       [ "workload"; "n"; "T"; "B"; "moves"; "n^3+nB"; "rounds"; "legit" ]
   in
   (* Clock with exact T, growing B: rounds must scale with B. *)
-  let clock_row n k b =
+  let clock_row n k b () =
     let g = Ss_graph.Builders.cycle n in
     let sc =
       {
@@ -70,44 +81,41 @@ let greedy_rows ?(seeds = default_seeds) rng =
       }
     in
     let agg = Measure.worst_case ~seeds ~max_height:b sc in
-    Table.add table
-      [
-        Table.S (Printf.sprintf "clock(T=%d)" k);
-        Table.I n;
-        Table.I k;
-        Table.I b;
-        Table.I agg.Measure.max_moves;
-        Table.I ((n * n * n) + (n * b));
-        Table.I agg.Measure.max_rounds;
-        Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
-      ]
+    [
+      Table.S (Printf.sprintf "clock(T=%d)" k);
+      Table.I n;
+      Table.I k;
+      Table.I b;
+      Table.I agg.Measure.max_moves;
+      Table.I ((n * n * n) + (n * b));
+      Table.I agg.Measure.max_rounds;
+      Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
+    ]
   in
-  List.iter (fun b -> clock_row 16 8 b) [ 8; 16; 32; 64 ];
   (* Greedy leader election with B a small multiple of T. *)
-  List.iter
-    (fun (w : Workloads.t) ->
-      let rng' = Rng.split rng in
-      let probe = leader_scenario (Rng.copy rng') w in
-      let t = max 1 (sync_time probe) in
-      let b = 2 * t in
-      let sc =
-        leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w
-      in
-      let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add table
-        [
-          Table.S ("leader/" ^ w.Workloads.family);
-          Table.I w.Workloads.n;
-          Table.I t;
-          Table.I b;
-          Table.I agg.Measure.max_moves;
-          Table.I
-            ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
-            + (w.Workloads.n * b));
-          Table.I agg.Measure.max_rounds;
-          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    (Workloads.rings [ 8; 16; 32 ]);
+  let leader_row ((w : Workloads.t), rng') () =
+    let probe = leader_scenario (Rng.copy rng') w in
+    let t = max 1 (sync_time probe) in
+    let b = 2 * t in
+    let sc = leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w in
+    let agg = Measure.worst_case ~seeds ~max_height:b sc in
+    [
+      Table.S ("leader/" ^ w.Workloads.family);
+      Table.I w.Workloads.n;
+      Table.I t;
+      Table.I b;
+      Table.I agg.Measure.max_moves;
+      Table.I
+        ((w.Workloads.n * w.Workloads.n * w.Workloads.n)
+        + (w.Workloads.n * b));
+      Table.I agg.Measure.max_rounds;
+      Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
+    ]
+  in
+  run_rows table
+    (List.map (fun b -> clock_row 16 8 b) [ 8; 16; 32; 64 ]
+    @ List.map leader_row
+        (Rng.split_per rng (Workloads.rings [ 8; 16; 32 ])));
   table
 
 let recovery_rows ?(seeds = default_seeds) rng =
@@ -119,78 +127,78 @@ let recovery_rows ?(seeds = default_seeds) rng =
       ]
   in
   (* Lazy leader election, B = +inf: recovery within O(D). *)
-  List.iter
-    (fun (w : Workloads.t) ->
-      let sc = leader_scenario (Rng.split rng) w in
-      let t = sync_time sc in
-      let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
-      Table.add table
-        [
-          Table.S ("leader/" ^ w.Workloads.family);
-          Table.I w.Workloads.n;
-          Table.I w.Workloads.diameter;
-          Table.S "inf";
-          Table.I agg.Measure.max_recovery_rounds;
-          Table.I w.Workloads.diameter;
-          Table.I agg.Measure.max_recovery_moves;
-          Table.I (w.Workloads.n * w.Workloads.n * w.Workloads.n);
-        ])
-    (Workloads.diameter_sweep ());
+  let leader_row ((w : Workloads.t), rng') () =
+    let sc = leader_scenario rng' w in
+    let t = sync_time sc in
+    let agg = Measure.worst_case ~seeds ~max_height:(t + 4) sc in
+    [
+      Table.S ("leader/" ^ w.Workloads.family);
+      Table.I w.Workloads.n;
+      Table.I w.Workloads.diameter;
+      Table.S "inf";
+      Table.I agg.Measure.max_recovery_rounds;
+      Table.I w.Workloads.diameter;
+      Table.I agg.Measure.max_recovery_moves;
+      Table.I (w.Workloads.n * w.Workloads.n * w.Workloads.n);
+    ]
+  in
   (* The B < D regime: a short clock on a long path — recovery is
      bounded by B, not by the (large) diameter. *)
-  List.iter
-    (fun n ->
-      let b = 4 in
-      let g = Ss_graph.Builders.path n in
-      let d = n - 1 in
-      let sc =
-        {
-          Stabilization.params =
-            Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Toy.clock;
-          graph = g;
-          inputs = (fun _ -> b);
-        }
-      in
-      let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add table
-        [
-          Table.S (Printf.sprintf "clock(B=%d)/path" b);
-          Table.I n;
-          Table.I d;
-          Table.I b;
-          Table.I agg.Measure.max_recovery_rounds;
-          Table.I (min d b);
-          Table.I agg.Measure.max_recovery_moves;
-          Table.I (min (n * n * n) (n * n * b));
-        ])
-    [ 16; 32; 64 ];
+  let clock_row n () =
+    let b = 4 in
+    let g = Ss_graph.Builders.path n in
+    let d = n - 1 in
+    let sc =
+      {
+        Stabilization.params =
+          Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) Toy.clock;
+        graph = g;
+        inputs = (fun _ -> b);
+      }
+    in
+    let agg = Measure.worst_case ~seeds ~max_height:b sc in
+    [
+      Table.S (Printf.sprintf "clock(B=%d)/path" b);
+      Table.I n;
+      Table.I d;
+      Table.I b;
+      Table.I agg.Measure.max_recovery_rounds;
+      Table.I (min d b);
+      Table.I agg.Measure.max_recovery_moves;
+      Table.I (min (n * n * n) (n * n * b));
+    ]
+  in
+  run_rows table
+    (List.map leader_row (Rng.split_per rng (Workloads.diameter_sweep ()))
+    @ List.map clock_row [ 16; 32; 64 ]);
   table
 
 let space_rows ?(seeds = default_seeds) rng =
   let table =
     Table.create [ "workload"; "n"; "B"; "S"; "B*S"; "space-bits"; "legit" ]
   in
-  List.iter
-    (fun (w : Workloads.t) ->
-      let rng' = Rng.split rng in
-      let probe = leader_scenario (Rng.copy rng') w in
-      let t = max 1 (sync_time probe) in
-      let b = t + 2 in
-      let sc = leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w in
-      let hist = Stabilization.history sc in
-      let s =
-        Sync_runner.max_state_bits sc.Stabilization.params.Transformer.sync hist
-      in
-      let agg = Measure.worst_case ~seeds ~max_height:b sc in
-      Table.add table
-        [
-          Table.S ("leader/" ^ w.Workloads.family);
-          Table.I w.Workloads.n;
-          Table.I b;
-          Table.I s;
-          Table.I (b * s);
-          Table.I agg.Measure.max_space_bits;
-          Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
-        ])
-    (Workloads.standard rng |> List.filteri (fun i _ -> i mod 3 = 0));
+  run_rows table
+    (List.map
+       (fun ((w : Workloads.t), rng') () ->
+         let probe = leader_scenario (Rng.copy rng') w in
+         let t = max 1 (sync_time probe) in
+         let b = t + 2 in
+         let sc = leader_scenario rng' ~mode:P.Greedy ~bound:(P.Finite b) w in
+         let hist = Stabilization.history sc in
+         let s =
+           Sync_runner.max_state_bits sc.Stabilization.params.Transformer.sync
+             hist
+         in
+         let agg = Measure.worst_case ~seeds ~max_height:b sc in
+         [
+           Table.S ("leader/" ^ w.Workloads.family);
+           Table.I w.Workloads.n;
+           Table.I b;
+           Table.I s;
+           Table.I (b * s);
+           Table.I agg.Measure.max_space_bits;
+           Table.S (if agg.Measure.all_legitimate then "yes" else "NO");
+         ])
+       (Rng.split_per rng
+          (Workloads.standard rng |> List.filteri (fun i _ -> i mod 3 = 0))));
   table

@@ -1,0 +1,56 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The knob and the lazily-created shared pool.  Guarded by a mutex so
+   concurrent campaigns (themselves pool tasks or user domains) can
+   race on first use without double-spawning; note pool tasks that
+   reach [map] run sequentially anyway (Pool.in_worker). *)
+let lock = Mutex.create ()
+let setting = ref None (* None: default_jobs () until told otherwise *)
+let shared : Pool.t option ref = ref None
+let exit_hook = ref false
+
+let jobs () =
+  Mutex.lock lock;
+  let j = match !setting with Some j -> j | None -> default_jobs () in
+  Mutex.unlock lock;
+  j
+
+let shutdown_shared_locked () =
+  match !shared with
+  | Some pool ->
+      shared := None;
+      Pool.shutdown pool
+  | None -> ()
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  Mutex.lock lock;
+  (match !shared with
+  | Some pool when Pool.size pool <> j -> shutdown_shared_locked ()
+  | _ -> ());
+  setting := Some j;
+  Mutex.unlock lock
+
+let pool () =
+  Mutex.lock lock;
+  let p =
+    match !shared with
+    | Some pool -> pool
+    | None ->
+        let j = match !setting with Some j -> j | None -> default_jobs () in
+        let pool = Pool.create ~jobs:j in
+        shared := Some pool;
+        if not !exit_hook then begin
+          exit_hook := true;
+          at_exit (fun () ->
+              Mutex.lock lock;
+              shutdown_shared_locked ();
+              Mutex.unlock lock)
+        end;
+        pool
+  in
+  Mutex.unlock lock;
+  p
+
+let map f l = Pool.map_list (pool ()) f l
+let map_array f xs = Pool.map (pool ()) f xs

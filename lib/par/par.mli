@@ -1,0 +1,25 @@
+(** Process-wide parallelism knob and shared pool.
+
+    The CLI / bench harness sets the job count once at startup
+    ([-j]/[--jobs], default {!default_jobs}); the campaign layer fans
+    out through {!map}/{!map_array} without threading a pool through
+    every signature.  All determinism guarantees of {!Pool} apply: the
+    job count never changes any output, only the wall clock. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** [set_jobs j] sets the shared pool size.  An existing shared pool
+    of a different size is shut down and replaced on next use.
+    @raise Invalid_argument if [j < 1]. *)
+
+val jobs : unit -> int
+(** Current setting (defaults to {!default_jobs} until [set_jobs]). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f l] is [List.map f l] computed on the shared pool (created
+    lazily at the current job count; joined at exit). *)
+
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f xs] is [Array.map f xs] on the shared pool. *)

@@ -1,0 +1,156 @@
+(* Fixed-size domain pool over stdlib Domain/Mutex/Condition.
+
+   One shared FIFO of thunks; [jobs - 1] spawned worker domains plus
+   the calling domain drain it.  Each [map] call tracks its own
+   completion (per-call mutex/condition/counter), so several calls can
+   be in flight on one pool — including calls issued by helped tasks
+   running on the caller's domain.  Tasks run with the [worker] DLS
+   flag set, which makes any nested [map] degrade to sequential
+   execution in that task's domain: no pool re-entrancy, no deadlock,
+   and (because results merge in index order) no observable difference
+   either way. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;  (* guards [queue], [stop] *)
+  work : Condition.t;  (* signaled on enqueue and on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+(* Tasks never raise: [map] wraps user code in a result capture. *)
+let run_task task =
+  let saved = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key true;
+  task ();
+  Domain.DLS.set worker_key saved
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    run_task task;
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_key true;
+            worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+(* Completion of one [map] call. *)
+type 'b call = {
+  results : 'b option array;
+  call_mutex : Mutex.t;
+  finished : Condition.t;
+  mutable remaining : int;
+}
+
+let map t f xs =
+  let n = Array.length xs in
+  if t.size <= 1 || n <= 1 || in_worker () then Array.map f xs
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    let call =
+      {
+        results = Array.make n None;
+        call_mutex = Mutex.create ();
+        finished = Condition.create ();
+        remaining = n;
+      }
+    in
+    let task i () =
+      let r =
+        try Ok (f xs.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      (* The write below is published to the caller by the counter
+         update under [call_mutex]; the caller only reads [results]
+         after observing [remaining = 0] under the same mutex. *)
+      call.results.(i) <- Some r;
+      Mutex.lock call.call_mutex;
+      call.remaining <- call.remaining - 1;
+      if call.remaining = 0 then Condition.signal call.finished;
+      Mutex.unlock call.call_mutex
+    in
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The caller drains the shared queue alongside the workers... *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let task =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some task ->
+          run_task task;
+          help ()
+      | None -> ()
+    in
+    help ();
+    (* ...then blocks until the last in-flight task of THIS call lands. *)
+    Mutex.lock call.call_mutex;
+    while call.remaining > 0 do
+      Condition.wait call.finished call.call_mutex
+    done;
+    Mutex.unlock call.call_mutex;
+    (* Index-ordered merge; first failing index wins, and whole-call
+       settlement above means no task of this call is still running. *)
+    for i = 0 to n - 1 do
+      match call.results.(i) with
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) -> ()
+      | None -> assert false
+    done;
+    Array.map
+      (function Some (Ok v) -> v | _ -> assert false)
+      call.results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,58 @@
+(** Fixed-size domain pool for deterministic campaign fan-out.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only (no domainslib).
+    The contract that the whole experiment layer rests on:
+
+    {ul
+    {- {b Index-ordered merge.}  [map pool f xs] returns exactly
+       [Array.map f xs]: results land at their input's index and
+       exceptions are re-raised in input order, so output (and
+       therefore every rendered table) is byte-identical regardless of
+       the job count — [-j 1] ≡ [-j N].}
+    {- {b Exception capture.}  A raising task does not kill a worker
+       domain; the first (lowest-index) exception is re-raised in the
+       caller with its original backtrace, after all tasks of the call
+       have settled.}
+    {- {b No nested pools.}  Calling [map] from inside a pool task
+       runs sequentially in that task's domain.  Combined with the
+       invariant that every task constructs its own algorithm, config
+       and RNG (DESIGN.md §11), this keeps arbitrary nesting of
+       campaign layers both safe and deterministic.}}
+
+    The caller's domain participates in draining the queue, so a pool
+    of size [j] applies [f] on at most [j] domains ([j - 1] spawned
+    workers plus the caller). *)
+
+type t
+(** A pool of worker domains.  Pools are reusable across any number of
+    [map] calls and must be released with {!shutdown}. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains.
+    [jobs <= 1] gives a pool whose [map] is plain sequential
+    [Array.map].
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val size : t -> int
+(** [size t] is the [jobs] the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element of [xs], fanning tasks
+    out over the pool, and merges results in index order (see above).
+    Tasks must not themselves block on pool work other than via this
+    module (nested calls run sequentially). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f l] is [map] over a list, preserving order. *)
+
+val shutdown : t -> unit
+(** [shutdown t] joins all worker domains.  Idempotent.  [map] on a
+    shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val in_worker : unit -> bool
+(** [in_worker ()] is [true] when called from inside a pool task —
+    the condition under which [map] degrades to sequential. *)

@@ -19,6 +19,26 @@ let split g =
   let s = bits64 g in
   { state = mix64 s }
 
+let split_at ~seed ~index =
+  if index < 0 then invalid_arg "Rng.split_at: index must be >= 0";
+  (* O(1) indexed derivation: jump the splitmix64 state [index + 1]
+     gammas past the seed point and re-mix twice.  Advancing the base
+     generator (create/bits64/split) never lands on these states, and
+     distinct indices differ by whole gammas, so streams are mutually
+     decorrelated and each (seed, index) pair names one reproducible
+     stream — the per-task RNG contract of the parallel campaign
+     layer. *)
+  let base = mix64 (Int64.of_int seed) in
+  let z = Int64.add base (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  { state = mix64 (mix64 z) }
+
+let split_per g l =
+  (* Splits happen in list order on the caller's domain, so pairing is
+     deterministic no matter where the returned generators are later
+     consumed. *)
+  List.rev
+    (List.fold_left (fun acc x -> (x, split g) :: acc) [] l)
+
 let int g bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

@@ -24,6 +24,20 @@ val split : t -> t
     (for all practical purposes) independent of the rest of [g]'s
     stream.  Useful to hand sub-generators to sub-experiments. *)
 
+val split_at : seed:int -> index:int -> t
+(** [split_at ~seed ~index] is a deterministic generator for the
+    [index]-th task of a campaign rooted at [seed]: same pair, same
+    stream, always — independent of job count, scheduling order or any
+    other generator's draws.  Distinct indices (and distinct seeds)
+    give decorrelated streams.  O(1).
+    @raise Invalid_argument if [index < 0]. *)
+
+val split_per : t -> 'a list -> ('a * t) list
+(** [split_per g l] pairs each element of [l] with [split g], splitting
+    in list order.  Used to pre-derive per-task generators before a
+    parallel fan-out so the parent stream is consumed identically
+    whether the tasks then run sequentially or on a pool. *)
+
 val bits64 : t -> int64
 (** [bits64 g] is the next raw 64-bit output. *)
 

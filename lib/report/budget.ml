@@ -20,12 +20,23 @@ let resolve ~default legacy budget =
   | None, Some b -> b
   | Some a, Some b -> min a b
 
+let now_s =
+  (* A deadline must survive NTP steps and machine load, so it is
+     measured against CLOCK_MONOTONIC (the bechamel stub, ns since an
+     arbitrary origin); [Sys.time] (processor time) undershoots wall
+    time arbitrarily on blocked runs and [Unix.gettimeofday] jumps.
+    Probe once: a zero reading means the stub has no monotonic source
+    on this platform — degrade to wall time. *)
+  if Monotonic_clock.now () > 0L then
+    fun () -> Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+  else Unix.gettimeofday
+
 let deadline_check t =
   match t.deadline_s with
   | None -> fun () -> false
   | Some allowance ->
-      let t0 = Sys.time () in
-      fun () -> Sys.time () -. t0 >= allowance
+      let t0 = now_s () in
+      fun () -> now_s () -. t0 >= allowance
 
 let limit_to_string = function
   | Steps -> "steps"

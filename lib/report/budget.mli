@@ -25,9 +25,10 @@ type t = {
       (** Cap on message-network events; since each event delivers at
           most one message, [stats.deliveries] never exceeds it. *)
   deadline_s : float option;
-      (** Wall-clock allowance in seconds (monotonic within a run;
-          measured with [Sys.time], i.e. processor time, so budgets
-          stay deterministic under machine load). *)
+      (** Wall-clock allowance in seconds, measured against the
+          monotonic clock ({!now_s}) — immune to NTP steps, unlike
+          [Unix.gettimeofday], and to blocked-process undershoot,
+          unlike [Sys.time]. *)
 }
 
 val unlimited : t
@@ -48,6 +49,11 @@ val resolve : default:int -> int option -> int option -> int
 (** [resolve ~default legacy budget] is the effective integer cap:
     the minimum of the provided limits, or [default] when both are
     [None]. *)
+
+val now_s : unit -> float
+(** Monotonic timestamp in seconds (the [CLOCK_MONOTONIC] stub from
+    [bechamel.monotonic_clock], falling back to [Unix.gettimeofday]
+    where unavailable).  Only differences are meaningful. *)
 
 val deadline_check : t -> unit -> bool
 (** [deadline_check t] starts the clock now and returns a predicate

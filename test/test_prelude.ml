@@ -42,6 +42,72 @@ let test_split_differs () =
   let db = List.init 16 (fun _ -> Rng.int b 1_000_000) in
   check "split stream is distinct" true (da <> db)
 
+let test_split_at_reproducible () =
+  (* (seed, index) is a pure function naming one stream. *)
+  let a = Rng.split_at ~seed:42 ~index:3
+  and b = Rng.split_at ~seed:42 ~index:3 in
+  for _ = 1 to 64 do
+    check_int "same (seed,index), same stream" (Rng.int a 1_000_000)
+      (Rng.int b 1_000_000)
+  done;
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.split_at: index must be >= 0") (fun () ->
+      ignore (Rng.split_at ~seed:1 ~index:(-1)))
+
+let test_split_at_decorrelated () =
+  let draws seed index =
+    let g = Rng.split_at ~seed ~index in
+    List.init 32 (fun _ -> Rng.int g 1_000_000)
+  in
+  (* Pairwise-distinct streams across adjacent indices... *)
+  let streams = List.init 8 (fun i -> (i, draws 7 i)) in
+  List.iter
+    (fun (i, si) ->
+      List.iter
+        (fun (j, sj) -> if i < j then check "indices decorrelated" true (si <> sj))
+        streams)
+    streams;
+  (* ...and across seeds; and no collision with the seed's own base
+     stream (split_at states sit off the create/bits64 trajectory). *)
+  check "seeds decorrelated" true (draws 7 0 <> draws 8 0);
+  let base = Rng.create 7 in
+  check "disjoint from base stream" true
+    (List.init 32 (fun _ -> Rng.int base 1_000_000) <> draws 7 0)
+
+(* Pinned draws: the exact historical splitmix64 streams.  Any change
+   to create/bits64/int — including adding [split_at] — must leave the
+   single-stream draws bit-for-bit identical, or every recorded table
+   in the repo silently shifts. *)
+let test_pinned_streams () =
+  let g = Rng.create 123 in
+  List.iter
+    (fun expected -> check_int "create 123 stream" expected (Rng.int g 1_000_000))
+    [ 595596; 298333; 913706; 397464 ];
+  let g = Rng.create 2024 in
+  List.iter
+    (fun expected -> check_int "create 2024 stream" expected (Rng.int g 97))
+    [ 12; 89; 71; 64 ]
+
+let test_split_per () =
+  (* split_per pairs each element with a split drawn in list order —
+     the same streams a left-to-right sequence of [Rng.split] yields. *)
+  let a = Rng.create 11 and b = Rng.create 11 in
+  let pairs = Rng.split_per a [ "x"; "y"; "z" ] in
+  let expected =
+    List.rev
+      (List.fold_left
+         (fun acc s -> (s, Rng.split b) :: acc)
+         [] [ "x"; "y"; "z" ])
+  in
+  Alcotest.(check (list string))
+    "keys in order" [ "x"; "y"; "z" ]
+    (List.map fst pairs);
+  List.iter2
+    (fun (_, g1) (_, g2) ->
+      check_int "stream matches sequential split" (Rng.int g1 1_000_000)
+        (Rng.int g2 1_000_000))
+    pairs expected
+
 let test_int_bounds () =
   let g = Rng.create 17 in
   for _ = 1 to 1000 do
@@ -255,6 +321,12 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "split" `Quick test_split_differs;
+          Alcotest.test_case "split_at reproducible" `Quick
+            test_split_at_reproducible;
+          Alcotest.test_case "split_at decorrelated" `Quick
+            test_split_at_decorrelated;
+          Alcotest.test_case "pinned streams" `Quick test_pinned_streams;
+          Alcotest.test_case "split_per" `Quick test_split_per;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
           Alcotest.test_case "int_in" `Quick test_int_in;
           Alcotest.test_case "int covers range" `Quick test_int_covers_range;

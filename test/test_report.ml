@@ -138,6 +138,25 @@ let test_deadline_check () =
   let instant = Budget.deadline_check (Budget.v ~deadline_s:(-1.) ()) in
   check "expired deadline fires" true (instant ())
 
+let test_deadline_monotonic () =
+  (* now_s reads the monotonic clock: it never runs backwards, no
+     matter what NTP does to wall time meanwhile. *)
+  let prev = ref (Budget.now_s ()) in
+  for _ = 1 to 1_000 do
+    let t = Budget.now_s () in
+    check "now_s never decreases" true (t >= !prev);
+    prev := t
+  done;
+  (* A real allowance measured against that clock: unexpired on
+     creation, expired once the clock has visibly advanced past it. *)
+  let trip = Budget.deadline_check (Budget.v ~deadline_s:0.01 ()) in
+  check "fresh 10ms deadline unexpired" false (trip ());
+  let t0 = Budget.now_s () in
+  while Budget.now_s () -. t0 < 0.012 do
+    ignore (Sys.opaque_identity 0)
+  done;
+  check "deadline fires after allowance elapses" true (trip ())
+
 (* ------------------------------------------------------------------ *)
 (* Run_report round-trips                                               *)
 (* ------------------------------------------------------------------ *)
@@ -498,6 +517,8 @@ let () =
           Alcotest.test_case "outcome strings" `Quick
             test_budget_outcome_strings;
           Alcotest.test_case "deadline check" `Quick test_deadline_check;
+          Alcotest.test_case "deadline monotonic" `Quick
+            test_deadline_monotonic;
         ] );
       ( "run_report",
         [
