@@ -126,6 +126,29 @@ let bench_full_recovery_naive ~n () =
   fun () ->
     ignore (Core.Transformer.run_naive params Sim.Daemon.synchronous start)
 
+(* Packed vs boxed full recovery under a finite bound.  A packed slab
+   holds a single live timeline (the engine mutates it in place), so a
+   packed start is single-shot — both variants therefore rebuild the
+   corrupted start inside the measured closure, making the pair an
+   apples-to-apples end-to-end comparison including layout setup. *)
+let bench_recovery_layout ~packed ~n () =
+  let g = G.Builders.cycle n in
+  let params =
+    Core.Transformer.params ~bound:(P.Finite 16)
+      Ss_algos.Leader_election.algo
+  in
+  fun () ->
+    let rng = Rng.create 4 in
+    let inputs = Ss_algos.Leader_election.random_ids rng g in
+    let clean =
+      if packed then
+        Core.Transformer.packed_config params
+          ~codec:Ss_algos.Leader_election.codec g ~inputs
+      else Core.Transformer.clean_config params g ~inputs
+    in
+    let start = Core.Transformer.corrupt rng ~max_height:16 params clean in
+    ignore (Core.Transformer.run params Sim.Daemon.synchronous start)
+
 (* Message-network end-to-end recovery: corrupted Cole-Vishkin ring
    coloring (§5.3's ring instance — its finite bound keeps per-event
    simulation work constant, so the event loop itself is what is
@@ -294,6 +317,89 @@ let parallel_sweep () =
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   rows
 
+(* Packed-engine footprint at three scales: bytes retained on the
+   major heap by a ready-to-run leader-election configuration (CSR
+   torus, packed arena, state handles, inputs), measured as the
+   compacted heap-words delta around construction, with the arena's
+   own accounting reported alongside.  The bar from the paper-scale
+   target is ~200 bytes/node at a million nodes. *)
+let memory_rows () =
+  (* [live_words] (a full-collection stat) rather than heap size:
+     construction churns transient pools (e.g. the id-draw pool) whose
+     freed space stays inside the heap chunks and would otherwise be
+     billed to the configuration. *)
+  let measure ~rows ~cols =
+    let before = (Gc.stat ()).Gc.live_words in
+    let g = G.Builders.torus ~rows ~cols in
+    let rng = Rng.create 5 in
+    let inputs = Ss_algos.Leader_election.random_ids rng g in
+    let params =
+      Core.Transformer.params ~bound:(P.Finite 8)
+        Ss_algos.Leader_election.algo
+    in
+    let config =
+      Core.Transformer.packed_config params
+        ~codec:Ss_algos.Leader_election.codec g ~inputs
+    in
+    let after = (Gc.stat ()).Gc.live_words in
+    let arena =
+      match Core.Trans_state.backing_arena (Sim.Config.state config 0) with
+      | Some a -> Core.Cellpack.bytes a
+      | None -> 0
+    in
+    ignore (Sys.opaque_identity config);
+    (8 * (after - before), arena)
+  in
+  List.concat_map
+    (fun (rows, cols) ->
+      let n = rows * cols in
+      let heap, arena = measure ~rows ~cols in
+      Printf.printf "memory/torus%d: %d bytes (%d/node, arena %d)\n%!" n heap
+        (heap / n) arena;
+      [
+        [ Table.S (Printf.sprintf "memory-bytes/torus%d" n); Table.I heap ];
+        [
+          Table.S (Printf.sprintf "memory-arena-bytes/torus%d" n);
+          Table.I arena;
+        ];
+        [
+          Table.S (Printf.sprintf "memory-bytes-per-node/torus%d" n);
+          Table.I (heap / n);
+        ];
+      ])
+    [ (64, 64); (320, 320); (1000, 1000) ]
+
+(* The @bigrun CI smoke: full recovery of leader election on an
+   n=100000 torus from a fully corrupted packed start, sharded across
+   the worker pool, under a hard wall-clock budget.  A budget trip or
+   an illegitimate terminal configuration fails the alias. *)
+let bigrun () =
+  let t0 = Unix.gettimeofday () in
+  let g = G.Builders.torus ~rows:200 ~cols:500 in
+  let rng = Rng.create 6 in
+  let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) g in
+  let params =
+    Core.Transformer.params ~bound:(P.Finite 8) Ss_algos.Leader_election.algo
+  in
+  let sc = { Ss_verify.Stabilization.params; graph = g; inputs } in
+  let start =
+    Ss_verify.Stabilization.corrupted_start (Rng.split rng)
+      ~codec:Ss_algos.Leader_election.codec ~max_height:8 sc
+  in
+  let budget = Ss_report.Budget.v ~deadline_s:120.0 () in
+  let report =
+    Ss_verify.Stabilization.run ~budget ~sharded:true sc
+      ~daemon:Sim.Daemon.synchronous ~start
+  in
+  Printf.printf
+    "bigrun: n=%d moves=%d rounds=%d terminated=%b legitimate=%b (%.1fs)\n%!"
+    (G.Graph.n g) report.moves report.rounds report.terminated
+    report.legitimate
+    (Unix.gettimeofday () -. t0);
+  if not (report.terminated && report.legitimate) then (
+    prerr_endline "bigrun: FAILED (budget tripped or illegitimate terminal)";
+    exit 1)
+
 (* Machine-readable results, written next to the printed tables so the
    perf trajectory is trackable across PRs.  Both renderings read the
    same typed Table.t — the text via Table.print, the JSON via the
@@ -359,6 +465,10 @@ let micro_benchmarks () =
             (Staged.stage (bench_full_recovery ~n:64 ()));
           Test.make ~name:"full-recovery-naive/trans-ring64"
             (Staged.stage (bench_full_recovery_naive ~n:64 ()));
+          Test.make ~name:"recovery-rebuild-packed/ring256"
+            (Staged.stage (bench_recovery_layout ~packed:true ~n:256 ()));
+          Test.make ~name:"recovery-rebuild-boxed/ring256"
+            (Staged.stage (bench_recovery_layout ~packed:false ~n:256 ()));
           Test.make ~name:"deep-ladder/path256"
             (Staged.stage (bench_deep_ladder ~cached:true ~n:256 ()));
           Test.make ~name:"deep-ladder-uncached/path256"
@@ -425,12 +535,16 @@ let micro_benchmarks () =
   let engine_table = bench_table "engine micro-benchmarks" engine in
   let msgnet_table = bench_table "msgnet micro-benchmarks" msgnet in
   List.iter (Table.add engine_table) (parallel_sweep ());
+  List.iter (Table.add engine_table) (memory_rows ());
   emit_json "BENCH_engine.json" "engine micro-benchmarks" engine_table;
   emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let micro_only = Array.exists (fun a -> a = "--micro") Sys.argv in
-  if not micro_only then experiment_tables ();
-  micro_benchmarks ();
+  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
+  if has "--bigrun" then bigrun ()
+  else begin
+    if not (has "--micro") then experiment_tables ();
+    micro_benchmarks ()
+  end;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

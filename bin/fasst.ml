@@ -39,6 +39,7 @@ let parse_topology rng spec =
   | [ "random"; n ] ->
       let n = int_of_string n in
       G.Builders.random_connected rng ~n ~extra_edges:(n / 2)
+  | [ "random4"; n ] -> G.Builders.random4 rng (int_of_string n)
   | [ "lollipop"; dims ] -> (
       match String.split_on_char 'x' dims with
       | [ c; t ] ->
@@ -71,8 +72,9 @@ let parse_daemon rng spec =
 let topology_arg =
   let doc =
     "Topology: path:N, ring:N, star:N, tree:N, complete:N, hypercube:D, \
-     grid:RxC, torus:RxC, random:N, lollipop:CxT, wheel:N, bipartite:AxB, \
-     caterpillar:SxL, gk:K."
+     grid:RxC, torus:RxC, random:N, random4:N, lollipop:CxT, wheel:N, \
+     bipartite:AxB, caterpillar:SxL, gk:K.  torus and random4 stream their \
+     edges and scale to millions of nodes."
   in
   Arg.(value & opt string "ring:16" & info [ "t"; "topology" ] ~doc)
 
@@ -108,6 +110,26 @@ let corrupt_arg =
   Arg.(
     value & opt float 1.0
     & info [ "p"; "corruption" ] ~doc:"Per-node fault probability.")
+
+let layout_arg =
+  let doc =
+    "State layout: $(b,auto) (packed arena when the algorithm has a codec \
+     and the bound is finite, else boxed), $(b,packed) (require the arena \
+     layout; fails without a codec or with an infinite bound), or \
+     $(b,boxed) (the historical copy-on-write buffers)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("packed", `Packed); ("boxed", `Boxed) ])
+        `Auto
+    & info [ "layout" ] ~doc)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for the run (monotonic clock).")
 
 let json_arg =
   Arg.(
@@ -179,21 +201,48 @@ let print_report name (r : _ Stabilization.report) =
     r.Stabilization.moves_per_rule;
   Printf.printf "legitimate     : %b\n" r.Stabilization.legitimate
 
-let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
+let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p ~layout
+    ~deadline ~jobs =
   let rng = Rng.create seed in
   let graph = parse_topology rng topology in
   let bound = parse_bound bound in
   let daemon = parse_daemon (Rng.split rng) daemon in
-  let go (type s i) (sync : (s, i) Ss_sync.Sync_algo.t) (inputs : int -> i)
+  let go (type s i) ?(codec : s Core.Cellpack.codec option)
+      (sync : (s, i) Ss_sync.Sync_algo.t) (inputs : int -> i)
       (spec : s array -> bool) =
     let params = Core.Transformer.params ~mode ~bound sync in
     let sc = { Stabilization.params; graph; inputs } in
-    let t = (Stabilization.history sc).Ss_sync.Sync_runner.t in
-    let max_height = min (P.bound_to_int bound) (t + 6) in
-    let start =
-      Stabilization.corrupted_start (Rng.split rng) ~p ~max_height sc
+    (* The corruption ceiling tracks the synchronous execution time.
+       Under a finite bound the ground truth is cut at B rounds — the
+       only part a B-bounded run can ever reference — so the pre-run
+       history is O(B·n) instead of O(T·n): the million-node path
+       never materializes the full fixpoint history. *)
+    let t =
+      let rounds = match bound with P.Finite b -> Some b | P.Infinite -> None in
+      (Stabilization.history ?rounds sc).Ss_sync.Sync_runner.t
     in
-    let report = Stabilization.run sc ~daemon ~start in
+    let max_height = min (P.bound_to_int bound) (t + 6) in
+    let codec =
+      match layout with
+      | `Boxed -> None
+      | `Auto -> ( match bound with P.Finite _ -> codec | P.Infinite -> None)
+      | `Packed -> (
+          match (codec, bound) with
+          | Some _, P.Finite _ -> codec
+          | None, _ ->
+              failwith ("no packed codec for algorithm: " ^ algo_name)
+          | Some _, P.Infinite ->
+              failwith "--layout packed requires a finite bound (-b B)")
+    in
+    let start =
+      Stabilization.corrupted_start (Rng.split rng) ~p ?codec ~max_height sc
+    in
+    let budget =
+      Option.map (fun s -> Ss_report.Budget.v ~deadline_s:s ()) deadline
+    in
+    let report =
+      Stabilization.run ?budget ~sharded:(jobs > 1) sc ~daemon ~start
+    in
     let name = sync.Ss_sync.Sync_algo.sync_name in
     if json then
       print_endline
@@ -209,16 +258,17 @@ let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p =
   (match algo_name with
   | "leader" ->
       let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
-      go Ss_algos.Leader_election.algo inputs (fun final ->
+      go ~codec:Ss_algos.Leader_election.codec Ss_algos.Leader_election.algo
+        inputs (fun final ->
           Ss_algos.Leader_election.spec_holds graph ~inputs ~final)
   | "minflood" ->
       let inputs p = (p * 31) mod 17 in
-      go Ss_algos.Min_flood.algo inputs (fun final ->
-          Ss_algos.Min_flood.spec_holds graph ~inputs ~final)
+      go ~codec:Ss_algos.Min_flood.codec Ss_algos.Min_flood.algo inputs
+        (fun final -> Ss_algos.Min_flood.spec_holds graph ~inputs ~final)
   | "bfs" ->
       let inputs = Ss_algos.Bfs_tree.inputs graph ~root:0 in
-      go Ss_algos.Bfs_tree.algo inputs (fun final ->
-          Ss_algos.Bfs_tree.spec_holds graph ~root:0 ~final)
+      go ~codec:Ss_algos.Bfs_tree.codec Ss_algos.Bfs_tree.algo inputs
+        (fun final -> Ss_algos.Bfs_tree.spec_holds graph ~root:0 ~final)
   | "sp" ->
       let weight =
         Ss_algos.Shortest_path.random_weights (Rng.split rng) graph ~max_weight:8
@@ -261,11 +311,14 @@ let run_cmd =
   in
   let term =
     Term.(
-      const (fun jobs json algo_name topology daemon seed mode bound p ->
+      const
+        (fun jobs json algo_name topology daemon seed mode bound p layout
+             deadline ->
           Ss_par.Par.set_jobs jobs;
-          run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p)
+          run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p
+            ~layout ~deadline ~jobs)
       $ jobs_arg $ json_arg $ algo $ topology_arg $ daemon_arg $ seed_arg
-      $ mode_arg $ bound_arg $ corrupt_arg)
+      $ mode_arg $ bound_arg $ corrupt_arg $ layout_arg $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "run"

@@ -52,6 +52,12 @@ let algo =
     pp_state;
   }
 
+let codec =
+  Ss_core.Cellpack.map
+    ~inj:(function Null -> 0 | Root -> 1 | Parent k -> k + 2)
+    ~prj:(fun w -> match w with 0 -> Null | 1 -> Root | k -> Parent (k - 2))
+    Ss_core.Cellpack.int_codec
+
 let inputs g ~root p = { is_root = p = root; degree = Graph.degree g p }
 
 let parent_node g p = function

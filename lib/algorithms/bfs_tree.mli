@@ -20,6 +20,10 @@ type input = { is_root : bool; degree : int }
 val algo : (state, input) Ss_sync.Sync_algo.t
 (** The synchronous algorithm. *)
 
+val codec : state Ss_core.Cellpack.codec
+(** One-word packed layout (tagged: [⊥ ↦ 0], [root ↦ 1],
+    [↑k ↦ k+2]) for {!Ss_core.Transformer.packed_config}. *)
+
 val inputs : Ss_graph.Graph.t -> root:int -> int -> input
 (** Input function distinguishing [root]. *)
 

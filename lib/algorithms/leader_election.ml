@@ -17,6 +17,8 @@ let algo =
     pp_state = Format.pp_print_int;
   }
 
+let codec = Ss_core.Cellpack.int_codec
+
 let sequential_ids _g p = p
 
 let random_ids rng g =

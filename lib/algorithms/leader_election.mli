@@ -18,6 +18,9 @@ type input = int
 val algo : (state, input) Ss_sync.Sync_algo.t
 (** The synchronous algorithm. *)
 
+val codec : state Ss_core.Cellpack.codec
+(** One-word packed layout for {!Ss_core.Transformer.packed_config}. *)
+
 val sequential_ids : Ss_graph.Graph.t -> int -> input
 (** Identifiers [0, 1, …] (node id = identifier). *)
 

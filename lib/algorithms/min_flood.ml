@@ -17,6 +17,8 @@ let algo =
     pp_state = Format.pp_print_int;
   }
 
+let codec = Ss_core.Cellpack.int_codec
+
 let inputs_of_values values p = values.(p)
 
 let spec_holds g ~inputs ~final =

@@ -12,6 +12,9 @@ type input = int  (** The node's initial value [p.I]. *)
 val algo : (state, input) Ss_sync.Sync_algo.t
 (** The synchronous algorithm. *)
 
+val codec : state Ss_core.Cellpack.codec
+(** One-word packed layout for {!Ss_core.Transformer.packed_config}. *)
+
 val inputs_of_values : int array -> int -> input
 (** [inputs_of_values values] is an input function for
     {!Ss_sync.Sync_runner.run}. *)

@@ -49,7 +49,9 @@ let run_to_legitimacy ?(max_steps = 1_000_000) daemon config =
     else if steps >= max_steps then None
     else begin
       let enabled = Config.enabled_nodes algo config in
-      let selected = daemon.Daemon.select ~step:steps ~enabled in
+      let selected =
+        daemon.Daemon.select ~step:steps ~enabled:(Array.of_list enabled)
+      in
       let config', moved = Engine.step algo config selected in
       go config' (steps + 1) (moves + List.length moved)
     end
@@ -62,7 +64,9 @@ let closure_holds ?(steps = 200) daemon config =
     || legitimate config
        &&
        let enabled = Config.enabled_nodes algo config in
-       let selected = daemon.Daemon.select ~step:i ~enabled in
+       let selected =
+         daemon.Daemon.select ~step:i ~enabled:(Array.of_list enabled)
+       in
        let config', _ = Engine.step algo config selected in
        go config' (i + 1)
   in

@@ -23,7 +23,26 @@
       physically shared buffer at equal heights;
     - two states sharing a buffer agree {e physically} on their common
       logical prefix — the invariant behind the incremental
-      prefix-verification cache of {!Predicates}. *)
+      prefix-verification cache of {!Predicates}.
+
+    {b Packed backend} (DESIGN.md §12).  A state may instead keep its
+    cells in a node slot of a flat {!Cellpack} arena — no per-cell
+    boxing, no GC-scanned payload — created with {!packed_clean}.
+    The API is identical, with two restrictions:
+    - {e capacity}: a packed list can never exceed the arena's [cap]
+      (the transformer bound [B]); [extend] beyond it raises;
+    - {e linear history}: each arena slot holds one live timeline.
+      Constructing a new state by writing below the slab's committed
+      frontier ([extend] after [truncate], {!wipe}, {!rebuild})
+      invalidates every older handle on that slot; reading a stale
+      handle's cells is unspecified.  The engine's per-node single
+      timeline satisfies this by construction — reference twins and
+      anything retaining history stay boxed.
+
+    [rep_id] remains sound for the {!Predicates} watermark cache on
+    both backends: every packed write below the committed frontier
+    mints a fresh lineage id, so equal [rep_id] still implies a
+    physically unchanged committed prefix. *)
 
 type status = C | E
 
@@ -36,6 +55,12 @@ val make : init:'s -> status:status -> cells:'s array -> 's t
 val clean : 's -> 's t
 (** [clean init] is the controlled initial state: status [C], empty
     list. *)
+
+val packed_clean : 's Cellpack.arena -> node:int -> init:'s -> 's t
+(** [packed_clean arena ~node ~init] is {!clean} on the packed
+    backend: a fresh, empty timeline in [arena]'s slot [node] (a
+    fresh lineage id is minted; any previous handle on the slot
+    becomes stale). *)
 
 val height : 's t -> int
 (** [height st] is [h], the length of the list. *)
@@ -59,10 +84,23 @@ val truncate : 's t -> int -> 's t
 
 val extend : 's t -> 's -> 's t
 (** [extend st s] appends [s], increasing the height by one.
-    Amortized O(1) on the unique-extension path; O(h) copy-on-write
-    when diverging from a prefix another state extended differently
-    (re-appending the {e physically} identical cell re-adopts it
-    without copying). *)
+    Boxed: amortized O(1) on the unique-extension path; O(h)
+    copy-on-write when diverging from a prefix another state extended
+    differently (re-appending the {e physically} identical cell
+    re-adopts it without copying).  Packed: O(1) slab write — keeps
+    the lineage id when extending the committed frontier, mints a
+    fresh one when overwriting below it.
+    @raise Invalid_argument when a packed list would exceed the
+    arena's capacity. *)
+
+val rebuild : 's t -> status:status -> cells:'s array -> 's t
+(** [rebuild st ~status ~cells] replaces the whole list and status,
+    keeping [init] {e and the backend} — the fault-injection
+    constructor ({!Transformer.corrupt_state}).  Boxed: a fresh
+    buffer, like {!make}.  Packed: rewrites the slot in place and
+    mints a fresh lineage id (older handles become stale).
+    @raise Invalid_argument when packed and
+    [Array.length cells > cap]. *)
 
 val with_status : 's t -> status -> 's t
 (** Replace the status ([st] itself when already equal). *)
@@ -86,9 +124,14 @@ val stamp : 's t -> int
     cheap "has this state changed?" token. *)
 
 val rep_id : 's t -> int
-(** Identity of the backing buffer (globally unique).  Two states with
-    the same [rep_id] agree physically on their common logical prefix;
-    {!Predicates} keys its verification watermarks on it. *)
+(** Identity of the backing lineage (globally unique across both
+    backends: boxed buffer id, or packed slot lineage id).  Two states
+    with the same [rep_id] agree physically on their common logical
+    prefix; {!Predicates} keys its verification watermarks on it. *)
+
+val backing_arena : 's t -> 's Cellpack.arena option
+(** The arena a packed state lives in ([None] for boxed states) —
+    for memory accounting in benchmarks. *)
 
 val cells : 's t -> 's array
 (** Fresh copy of the logical list [L(1..h)] (never exposes backing

@@ -86,6 +86,20 @@ let clean_config p g ~inputs =
   Config.make g ~inputs ~states:(fun node ->
       St.clean (p.sync.Sync_algo.init (inputs node)))
 
+let packed_config p ~codec g ~inputs =
+  let cap =
+    match p.bound with
+    | P.Finite b -> b
+    | P.Infinite ->
+        invalid_arg "Transformer.packed_config: requires a finite bound"
+  in
+  (* One arena for the whole population: n slots of B cells each.
+     Heights never exceed a finite B (RU's guard, and [corrupt] caps
+     at B), so the slabs can never overflow. *)
+  let arena = Cellpack.arena ~codec ~n:(Ss_graph.Graph.n g) ~cap in
+  Config.make g ~inputs ~states:(fun node ->
+      St.packed_clean arena ~node ~init:(p.sync.Sync_algo.init (inputs node)))
+
 let corrupt_state rng ~max_height params input (st : 's St.t) =
   let cap = min max_height (P.bound_to_int params.bound) in
   let random_cells len =
@@ -98,8 +112,10 @@ let corrupt_state rng ~max_height params input (st : 's St.t) =
   let h = St.height st in
   match Rng.int rng 5 with
   | 0 ->
-      (* Full scramble: fresh status, height and contents. *)
-      St.make ~init:(St.init st) ~status:(random_status ())
+      (* Full scramble: fresh status, height and contents
+         (backend-preserving: packed states are rewritten in their
+         slab). *)
+      St.rebuild st ~status:(random_status ())
         ~cells:(random_cells (Rng.int rng (cap + 1)))
   | 1 ->
       (* Truncation. *)
@@ -111,7 +127,7 @@ let corrupt_state rng ~max_height params input (st : 's St.t) =
       if cap <= h then flip_status ()
       else
         let extra = 1 + Rng.int rng (cap - h) in
-        St.make ~init:(St.init st) ~status:(St.status st)
+        St.rebuild st ~status:(St.status st)
           ~cells:(Array.append (St.cells st) (random_cells extra))
   | 3 ->
       (* Single-cell flip; an empty list with no capacity degrades to
@@ -123,7 +139,7 @@ let corrupt_state rng ~max_height params input (st : 's St.t) =
         let i = Rng.int rng h in
         let cells = St.cells st in
         cells.(i) <- params.sync.Sync_algo.random_state rng input;
-        St.make ~init:(St.init st) ~status:(St.status st) ~cells
+        St.rebuild st ~status:(St.status st) ~cells
       end
   | _ -> flip_status ()
 
@@ -138,9 +154,14 @@ let corrupt rng ?(p = 1.0) ~max_height params config =
   in
   Config.with_states config states
 
-let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks p
-    daemon config =
-  let algo = algorithm p in
+let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
+    ?observer ?sinks p daemon config =
+  (* The prefix-verification cache is a plain Hashtbl — not
+     domain-safe — so sharded runs (guards evaluated on the Ss_par
+     pool) use the uncached reference predicates; with the finite
+     bounds big runs need anyway, full re-verification is O(B·deg)
+     per guard, not O(h·deg) unbounded. *)
+  let algo = if sharded then algorithm_uncached p else algorithm p in
   let sinks = Option.value sinks ~default:[] in
   let sinks =
     if not self_check then sinks
@@ -163,8 +184,8 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks p
       check :: sinks
     end
   in
-  Engine.run ?budget ?max_steps ?max_moves ~self_check ?observer ~sinks algo
-    daemon config
+  Engine.run ?budget ?max_steps ?max_moves ~self_check ~sharded ?observer
+    ~sinks algo daemon config
 
 let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks p daemon config =
   Engine.run_naive ?budget ?max_steps ?max_moves ?observer ?sinks

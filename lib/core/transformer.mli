@@ -73,6 +73,22 @@ val clean_config :
 (** The controlled initial configuration: every node has status [C]
     and an empty list. *)
 
+val packed_config :
+  ('s, 'i) params ->
+  codec:'s Cellpack.codec ->
+  Ss_graph.Graph.t ->
+  inputs:(int -> 'i) ->
+  ('s Trans_state.t, 'i) Ss_sim.Config.t
+(** Like {!clean_config}, but every node state lives in one shared
+    {!Cellpack} arena of [n × B] packed cells (DESIGN.md §12) — the
+    million-node layout: O(n·B·words) flat words, no per-cell boxing.
+    Requires a finite bound (it is the slab capacity); heights can
+    never exceed it, so the arena never overflows.  The configuration
+    behaves identically to a boxed one under {!run}, {!corrupt} and
+    the checkers; only {!run_naive} twins must stay boxed (packed
+    slots hold a single live timeline — see {!Trans_state}).
+    @raise Invalid_argument when [params.bound] is [Infinite]. *)
+
 val corrupt :
   Ss_prelude.Rng.t ->
   ?p:float ->
@@ -107,6 +123,7 @@ val run :
   ?max_steps:int ->
   ?max_moves:int ->
   ?self_check:bool ->
+  ?sharded:bool ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
   ?sinks:('s Trans_state.t, 'i) Ss_sim.Engine.observer list ->
   ('s, 'i) params ->
@@ -119,7 +136,13 @@ val run :
     {!algorithm} against the uncached reference of
     {!algorithm_uncached}, raising {!Ss_sim.Engine.Divergence} on any
     mismatch).  All the engine's budget and sink-bus options pass
-    through unchanged. *)
+    through unchanged.
+
+    [sharded] (default [false]) enables the engine's sharded
+    scheduler {e and} switches to the uncached reference predicates
+    (the watermark cache is a plain [Hashtbl], not safe across the
+    pool's domains).  Execution stays byte-identical to the
+    sequential cached run — the cache never changes results. *)
 
 val run_naive :
   ?budget:Ss_report.Budget.t ->

@@ -8,10 +8,16 @@ let path n =
 
 let cycle n =
   if n < 3 then invalid_arg "Builders.cycle";
-  (* Explicit adjacency so that port 0 is clockwise and port 1 is
-     counterclockwise at every node. *)
-  let adj = Array.init n (fun i -> [| (i + 1) mod n; (i + n - 1) mod n |]) in
-  Graph.of_adjacency adj
+  (* Direct CSR, no intermediate adjacency: port 0 is clockwise and
+     port 1 is counterclockwise at every node (correct by
+     construction, so validation is skipped). *)
+  let offsets = Array.init (n + 1) (fun i -> 2 * i) in
+  let targets = Array.make (2 * n) 0 in
+  for i = 0 to n - 1 do
+    targets.(2 * i) <- (i + 1) mod n;
+    targets.((2 * i) + 1) <- (i + n - 1) mod n
+  done;
+  Graph.of_csr ~validate:false ~offsets ~targets ()
 
 let complete n =
   if n < 1 then invalid_arg "Builders.complete";
@@ -41,15 +47,26 @@ let grid ~rows ~cols =
 
 let torus ~rows ~cols =
   if rows < 3 || cols < 3 then invalid_arg "Builders.torus";
+  (* Streamed: the historical builder consed every edge onto a list
+     and handed it to [of_edges], whose processing order was therefore
+     the {e reverse} of generation order.  The stream replays exactly
+     that order (generation index [2(r·cols+c)] for the right edge,
+     [+1] for the down edge, streamed last-to-first), so port
+     assignment — and every pinned table derived from it — is
+     bit-identical, without ever materializing the 2·n edge list.
+     Correct by construction for rows, cols >= 3, so validation is
+     skipped and a 10^6-node torus builds in linear time. *)
+  let n = rows * cols in
+  let count = 2 * n in
   let id r c = (r * cols) + c in
-  let edges = ref [] in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
-      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
-    done
-  done;
-  Graph.of_edges ~n:(rows * cols) !edges
+  let edge i =
+    let k = count - 1 - i in
+    let v = k / 2 in
+    let r = v / cols and c = v mod cols in
+    if k land 1 = 0 then (v, id r ((c + 1) mod cols))
+    else (v, id ((r + 1) mod rows) c)
+  in
+  Graph.of_edge_stream ~validate:false ~n ~count edge
 
 let hypercube d =
   if d < 0 then invalid_arg "Builders.hypercube";
@@ -118,6 +135,87 @@ let caterpillar ~spine ~legs =
     done
   done;
   Graph.of_edges ~n !edges
+
+(* Random 4-regular graph as the union of two Hamiltonian cycles: the
+   ring 0–1–…–(n-1)–0 plus a uniform random cycle (a permutation read
+   cyclically).  Every node gets exactly four ports —
+   [(v+1) mod n; (v-1) mod n; successor in the random cycle;
+   predecessor in the random cycle] — so the graph is connected,
+   4-regular and built in O(n) flat words with no edge list.  The
+   random cycle must avoid ring edges (a coinciding edge would be a
+   parallel edge); a deterministic local repair pass swaps conflicting
+   permutation entries, and the rare irreparable draw is simply
+   redrawn, all from the same [rng] stream. *)
+let random4 rng n =
+  if n < 8 then invalid_arg "Builders.random4: n must be >= 8";
+  let ring_adjacent a b =
+    let d = (a - b + n) mod n in
+    d = 1 || d = n - 1
+  in
+  let repaired perm =
+    let good t = not (ring_adjacent perm.(t) perm.((t + 1) mod n)) in
+    let ok = ref true in
+    for t = 0 to n - 1 do
+      if !ok && not (good t) then begin
+        let i1 = (t + 1) mod n in
+        (* Swap positions i1 and j; acceptable only if every pair the
+           swap touches is good afterwards — including already-scanned
+           pairs, so the scan invariant survives. *)
+        let fixed = ref false in
+        let j = ref 0 in
+        while (not !fixed) && !j < n do
+          if !j <> i1 then begin
+            let a = perm.(i1) in
+            perm.(i1) <- perm.(!j);
+            perm.(!j) <- a;
+            let touched =
+              [ (i1 + n - 1) mod n; i1; (!j + n - 1) mod n; !j ]
+            in
+            if List.for_all good touched then fixed := true
+            else begin
+              let b = perm.(i1) in
+              perm.(i1) <- perm.(!j);
+              perm.(!j) <- b
+            end
+          end;
+          incr j
+        done;
+        if not !fixed then ok := false
+      end
+    done;
+    !ok
+  in
+  let perm = Rng.permutation rng n in
+  let attempts = ref 0 in
+  while (not (repaired perm)) && !attempts < 64 do
+    incr attempts;
+    Array.blit (Rng.permutation rng n) 0 perm 0 n
+  done;
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) perm;
+  let offsets = Array.init (n + 1) (fun i -> 4 * i) in
+  let targets = Array.make (4 * n) 0 in
+  for v = 0 to n - 1 do
+    let i = pos.(v) in
+    targets.(4 * v) <- (v + 1) mod n;
+    targets.((4 * v) + 1) <- (v + n - 1) mod n;
+    targets.((4 * v) + 2) <- perm.((i + 1) mod n);
+    targets.((4 * v) + 3) <- perm.((i + n - 1) mod n)
+  done;
+  (* O(n) port-distinctness check stands in for full validation: the
+     construction is symmetric by definition, so distinct ports at
+     every node are exactly simplicity. *)
+  for v = 0 to n - 1 do
+    for a = 0 to 3 do
+      let pa = targets.((4 * v) + a) in
+      if pa = v then failwith "Builders.random4: self-loop";
+      for b = a + 1 to 3 do
+        if pa = targets.((4 * v) + b) then
+          failwith "Builders.random4: repair failed"
+      done
+    done
+  done;
+  Graph.of_csr ~validate:false ~offsets ~targets ()
 
 let random_tree rng n =
   if n < 1 then invalid_arg "Builders.random_tree";

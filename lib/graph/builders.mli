@@ -63,6 +63,16 @@ val caterpillar : spine:int -> legs:int -> Graph.t
     diameter [spine + 1] (for [legs >= 1]), handy for decoupling [n]
     from [D]. *)
 
+val random4 : Ss_prelude.Rng.t -> int -> Graph.t
+(** [random4 rng n] is a random connected 4-regular graph on [n >= 8]
+    nodes: the union of the ring [0–1–…–(n-1)–0] with a uniform random
+    second Hamiltonian cycle (locally repaired so no cycle edge
+    coincides with a ring edge).  Built directly in CSR form in O(n)
+    with no intermediate edge list — the expander-style big-n workload
+    of the million-node benches.  Ports of [v]: clockwise ring
+    neighbor, counterclockwise ring neighbor, random-cycle successor,
+    random-cycle predecessor. *)
+
 val random_tree : Ss_prelude.Rng.t -> int -> Graph.t
 (** [random_tree rng n] is a uniform-attachment random tree: node [i]
     ([i >= 1]) attaches to a uniform node in [0..i-1]. *)

@@ -1,94 +1,202 @@
-type t = { adj : int array array; m : int }
+(* Compressed sparse row: node [p]'s port-ordered neighbors are
+   [tgt.(off.(p)) .. tgt.(off.(p+1) - 1)].  One offsets/targets pair
+   for the whole graph — two int arrays totalling [n + 1 + 2m] words —
+   instead of [n] boxed per-node arrays, so a 10^6-node topology costs
+   a few flat megabytes and degree/port lookups stay O(1). *)
+type t = { off : int array; tgt : int array; m : int }
 
-let validate adj =
-  let n = Array.length adj in
-  (* One hashed neighbor set per node serves both checks: duplicates
-     while it is filled, then O(1) symmetry probes — O(n + m) overall
-     where the per-edge [Array.exists] scan was O(Σ deg²). *)
-  let seen =
-    Array.map (fun nbrs -> Hashtbl.create (max 8 (Array.length nbrs))) adj
-  in
-  Array.iteri
-    (fun p nbrs ->
-      Array.iter
-        (fun q ->
-          if q < 0 || q >= n then
-            invalid_arg
-              (Printf.sprintf "Graph: node %d has out-of-range neighbor %d" p q);
-          if q = p then
-            invalid_arg (Printf.sprintf "Graph: self-loop at node %d" p);
-          if Hashtbl.mem seen.(p) q then
-            invalid_arg
-              (Printf.sprintf "Graph: parallel edge {%d,%d}" p q);
-          Hashtbl.add seen.(p) q ())
-        nbrs)
-    adj;
-  (* Symmetry: q must list p whenever p lists q. *)
-  Array.iteri
-    (fun p nbrs ->
-      Array.iter
-        (fun q ->
-          if not (Hashtbl.mem seen.(q) p) then
-            invalid_arg
-              (Printf.sprintf "Graph: edge {%d,%d} is not symmetric" p q))
-        nbrs)
-    adj
+let n g = Array.length g.off - 1
+let m g = g.m
+let degree g p = g.off.(p + 1) - g.off.(p)
+let nbr g p i = g.tgt.(g.off.(p) + i)
+let neighbors g p = Array.sub g.tgt g.off.(p) (degree g p)
+
+let iter_neighbors g p f =
+  for k = g.off.(p) to g.off.(p + 1) - 1 do
+    f g.tgt.(k)
+  done
+
+let fold_neighbors g p ~init ~f =
+  let acc = ref init in
+  iter_neighbors g p (fun q -> acc := f !acc q);
+  !acc
+
+(* Validation, O(n + m log m) and hashtable-free:
+   - range / self-loop / parallel edges in one pass per directed entry,
+     in the same per-entry order as the historical checker (a stamp
+     array replaces the per-node hashed neighbor sets);
+   - symmetry by comparing the sorted multiset of directed edge codes
+     [p·n + q] against the codes of the reversed entries — equal
+     multisets iff every listed edge is listed both ways. *)
+let validate_csr off tgt =
+  let n = Array.length off - 1 in
+  let mark = Array.make n (-1) in
+  for p = 0 to n - 1 do
+    for k = off.(p) to off.(p + 1) - 1 do
+      let q = tgt.(k) in
+      if q < 0 || q >= n then
+        invalid_arg
+          (Printf.sprintf "Graph: node %d has out-of-range neighbor %d" p q);
+      if q = p then
+        invalid_arg (Printf.sprintf "Graph: self-loop at node %d" p);
+      if mark.(q) = p then
+        invalid_arg (Printf.sprintf "Graph: parallel edge {%d,%d}" p q);
+      mark.(q) <- p
+    done
+  done;
+  (* Symmetry in O(n+m), no sorting: bucket every directed entry by
+     its target (a counting sort), giving sources(p) = { s : s->p }.
+     Parallel edges were excluded above, so adjacency lists are sets
+     and (p,q) has its reverse (q,p) iff q ∈ sources(p) — checked
+     with the same stamped-mark trick. *)
+  let len = Array.length tgt in
+  let inoff = Array.make (n + 1) 0 in
+  for k = 0 to len - 1 do
+    inoff.(tgt.(k) + 1) <- inoff.(tgt.(k) + 1) + 1
+  done;
+  for p = 0 to n - 1 do
+    inoff.(p + 1) <- inoff.(p + 1) + inoff.(p)
+  done;
+  let src = Array.make (max 1 len) 0 in
+  let cur = Array.sub inoff 0 n in
+  for p = 0 to n - 1 do
+    for k = off.(p) to off.(p + 1) - 1 do
+      let q = tgt.(k) in
+      src.(cur.(q)) <- p;
+      cur.(q) <- cur.(q) + 1
+    done
+  done;
+  Array.fill mark 0 n (-1);
+  for p = 0 to n - 1 do
+    for k = inoff.(p) to inoff.(p + 1) - 1 do
+      mark.(src.(k)) <- p
+    done;
+    for k = off.(p) to off.(p + 1) - 1 do
+      let q = tgt.(k) in
+      if mark.(q) <> p then
+        invalid_arg (Printf.sprintf "Graph: edge {%d,%d} is not symmetric" p q)
+    done
+  done
+
+let of_csr ?(validate = true) ~offsets ~targets () =
+  let n = Array.length offsets - 1 in
+  if n < 0 then invalid_arg "Graph.of_csr: offsets must be nonempty";
+  if offsets.(0) <> 0 || offsets.(n) <> Array.length targets then
+    invalid_arg "Graph.of_csr: offsets must span the target array";
+  for p = 0 to n - 1 do
+    if offsets.(p + 1) < offsets.(p) then
+      invalid_arg "Graph.of_csr: offsets must be nondecreasing"
+  done;
+  if validate then validate_csr offsets targets;
+  { off = offsets; tgt = targets; m = Array.length targets / 2 }
 
 let of_adjacency adj =
-  validate adj;
-  let m =
-    Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 adj / 2
-  in
-  { adj = Array.map Array.copy adj; m }
+  let n = Array.length adj in
+  let off = Array.make (n + 1) 0 in
+  for p = 0 to n - 1 do
+    off.(p + 1) <- off.(p) + Array.length adj.(p)
+  done;
+  let tgt = Array.make off.(n) 0 in
+  Array.iteri
+    (fun p nbrs -> Array.iteri (fun i q -> tgt.(off.(p) + i) <- q) nbrs)
+    adj;
+  of_csr ~offsets:off ~targets:tgt ()
 
 let of_edges ~n edges =
   if n < 1 then invalid_arg "Graph.of_edges: n must be >= 1";
-  let buf = Array.make n [] in
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range" u v)
+  in
+  (* Two passes — degrees, then targets — so no intermediate per-node
+     lists are ever materialized.  Ports keep the historical contract:
+     assigned in the order edges are listed. *)
+  let deg = Array.make n 0 in
   List.iter
     (fun (u, v) ->
-      if u < 0 || u >= n || v < 0 || v >= n then
-        invalid_arg (Printf.sprintf "Graph.of_edges: edge (%d,%d) out of range" u v);
-      buf.(u) <- v :: buf.(u);
-      buf.(v) <- u :: buf.(v))
+      check (u, v);
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
     edges;
-  let adj = Array.map (fun l -> Array.of_list (List.rev l)) buf in
-  of_adjacency adj
+  let off = Array.make (n + 1) 0 in
+  for p = 0 to n - 1 do
+    off.(p + 1) <- off.(p) + deg.(p)
+  done;
+  let tgt = Array.make off.(n) 0 in
+  let cur = Array.sub off 0 n in
+  List.iter
+    (fun (u, v) ->
+      tgt.(cur.(u)) <- v;
+      cur.(u) <- cur.(u) + 1;
+      tgt.(cur.(v)) <- u;
+      cur.(v) <- cur.(v) + 1)
+    edges;
+  of_csr ~offsets:off ~targets:tgt ()
 
-let n g = Array.length g.adj
-let m g = g.m
-let neighbors g p = g.adj.(p)
-let degree g p = Array.length g.adj.(p)
-let mem_edge g p q = Array.exists (fun r -> r = q) g.adj.(p)
+(* Streaming constructor for generated topologies: [f i] is the i-th
+   edge in the port-assignment (processing) order; it is called twice
+   per edge — degree pass, then fill pass — so builders never hold an
+   edge list. *)
+let of_edge_stream ?validate ~n ~count f =
+  if n < 1 then invalid_arg "Graph.of_edge_stream: n must be >= 1";
+  let deg = Array.make n 0 in
+  for i = 0 to count - 1 do
+    let u, v = f i in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph.of_edge_stream: edge (%d,%d) out of range" u v);
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for p = 0 to n - 1 do
+    off.(p + 1) <- off.(p) + deg.(p)
+  done;
+  let tgt = Array.make off.(n) 0 in
+  let cur = Array.sub off 0 n in
+  for i = 0 to count - 1 do
+    let u, v = f i in
+    tgt.(cur.(u)) <- v;
+    cur.(u) <- cur.(u) + 1;
+    tgt.(cur.(v)) <- u;
+    cur.(v) <- cur.(v) + 1
+  done;
+  of_csr ?validate ~offsets:off ~targets:tgt ()
+
+let mem_edge g p q =
+  let rec go k = k < g.off.(p + 1) && (g.tgt.(k) = q || go (k + 1)) in
+  go g.off.(p)
 
 let port_of g p q =
-  let nbrs = g.adj.(p) in
-  let rec go i =
-    if i >= Array.length nbrs then raise Not_found
-    else if nbrs.(i) = q then i
-    else go (i + 1)
+  let base = g.off.(p) in
+  let rec go k =
+    if k >= g.off.(p + 1) then raise Not_found
+    else if g.tgt.(k) = q then k - base
+    else go (k + 1)
   in
-  go 0
+  go base
 
 let port_table g =
   (* One hashtable pass per node instead of a linear [port_of] scan
      per lookup: O(n + m) to build, O(1) per cached entry. *)
+  let nn = n g in
   let inverse =
-    Array.map
-      (fun nbrs ->
-        let h = Hashtbl.create (max 4 (Array.length nbrs)) in
-        Array.iteri (fun i q -> Hashtbl.replace h q i) nbrs;
+    Array.init nn (fun p ->
+        let h = Hashtbl.create (max 4 (degree g p)) in
+        for i = 0 to degree g p - 1 do
+          Hashtbl.replace h (nbr g p i) i
+        done;
         h)
-      g.adj
   in
-  Array.mapi
-    (fun p nbrs -> Array.map (fun q -> Hashtbl.find inverse.(q) p) nbrs)
-    g.adj
+  Array.init nn (fun p ->
+      Array.init (degree g p) (fun i -> Hashtbl.find inverse.(nbr g p i) p))
 
 let edges g =
   let acc = ref [] in
-  Array.iteri
-    (fun p nbrs -> Array.iter (fun q -> if p < q then acc := (p, q) :: !acc) nbrs)
-    g.adj;
+  for p = 0 to n g - 1 do
+    iter_neighbors g p (fun q -> if p < q then acc := (p, q) :: !acc)
+  done;
   List.sort compare !acc
 
 let iter_nodes g f =
@@ -102,4 +210,5 @@ let fold_nodes g ~init ~f =
   !acc
 
 let max_degree g = fold_nodes g ~init:0 ~f:(fun acc p -> max acc (degree g p))
+let memory_words g = Array.length g.off + Array.length g.tgt + 4
 let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" (n g) (m g)

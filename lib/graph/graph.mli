@@ -6,6 +6,13 @@
     models with port numbers (paper §3.3).  Algorithms written for the
     weak anonymous model of §2.2 simply ignore the order.
 
+    {b Representation.}  Adjacency is stored in compressed sparse row
+    (CSR) form: one offsets array and one targets array for the whole
+    graph ([n + 1 + 2m] flat words), not one boxed array per node.
+    Degree and port lookups are O(1) ({!degree}, {!nbr}); hot paths
+    iterate ports with {!iter_neighbors} instead of materializing a
+    neighbor array.
+
     All graphs are validated at construction: no self-loops, no
     parallel edges, symmetric adjacency.  Connectivity is {e not}
     enforced here (see {!Properties.is_connected}); the builders in
@@ -25,6 +32,25 @@ val of_edges : n:int -> (int * int) list -> t
     listed; duplicate edges and self-loops are rejected.
     @raise Invalid_argument on invalid input. *)
 
+val of_csr : ?validate:bool -> offsets:int array -> targets:int array -> unit -> t
+(** [of_csr ~offsets ~targets ()] adopts a prebuilt CSR pair:
+    [offsets] has [n + 1] entries with [offsets.(0) = 0], and node
+    [p]'s ports are [targets.(offsets.(p)) .. targets.(offsets.(p+1)
+    - 1)].  The arrays are {e adopted}, not copied — the caller must
+    not mutate them afterwards.  [validate] (default [true]) runs the
+    full simplicity/symmetry check; builders whose construction is
+    correct by construction pass [false] to keep 10^6-node generation
+    linear.
+    @raise Invalid_argument on malformed offsets or (when validating)
+    non-simple input. *)
+
+val of_edge_stream :
+  ?validate:bool -> n:int -> count:int -> (int -> int * int) -> t
+(** [of_edge_stream ~n ~count f] builds the graph whose i-th edge (in
+    port-assignment order) is [f i], without ever materializing an
+    edge list: [f] is called twice per index — once for the degree
+    pass, once for the fill pass — and must be pure. *)
+
 val n : t -> int
 (** Number of nodes. *)
 
@@ -32,11 +58,24 @@ val m : t -> int
 (** Number of edges. *)
 
 val neighbors : t -> int -> int array
-(** [neighbors g p] is the port-ordered neighbor array of [p].  The
-    returned array must not be mutated. *)
+(** [neighbors g p] is the port-ordered neighbor array of [p] — a
+    fresh copy of the node's CSR segment (O(deg) allocation; hot paths
+    should use {!nbr}/{!iter_neighbors}).  The returned array must not
+    be mutated. *)
 
 val degree : t -> int -> int
-(** [degree g p] is the number of neighbors of [p]. *)
+(** [degree g p] is the number of neighbors of [p].  O(1). *)
+
+val nbr : t -> int -> int -> int
+(** [nbr g p i] is [p]'s port-[i] neighbor, [0 <= i < degree g p].
+    O(1), allocation-free; bounds are the caller's responsibility. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g p f] applies [f] to [p]'s neighbors in port
+    order, allocation-free. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Allocation-free left fold over [p]'s neighbors in port order. *)
 
 val mem_edge : t -> int -> int -> bool
 (** [mem_edge g p q] tests whether [{p,q}] is an edge. *)
@@ -65,6 +104,10 @@ val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 
 val max_degree : t -> int
 (** Maximum degree over all nodes ([0] for the single-node graph). *)
+
+val memory_words : t -> int
+(** Words of flat storage held by the CSR pair ([n + 1 + 2m] plus
+    record overhead) — the graph term of the bench memory rows. *)
 
 val pp : Format.formatter -> t -> unit
 (** Terse rendering ["graph(n=…, m=…)"]. *)

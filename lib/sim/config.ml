@@ -17,7 +17,9 @@ let view c p =
   {
     Algorithm.input = c.inputs.(p);
     self = c.states.(p);
-    neighbors = Array.map (fun q -> c.states.(q)) (Graph.neighbors c.graph p);
+    neighbors =
+      Array.init (Graph.degree c.graph p) (fun i ->
+          c.states.(Graph.nbr c.graph p i));
   }
 
 let with_states c states = { c with states }

@@ -2,33 +2,53 @@ module Rng = Ss_prelude.Rng
 
 type t = {
   daemon_name : string;
-  select : step:int -> enabled:int list -> int list;
+  select : step:int -> enabled:int array -> int list;
 }
 
 let of_fun daemon_name select = { daemon_name; select }
-let synchronous = of_fun "synchronous" (fun ~step:_ ~enabled -> enabled)
 
+let synchronous =
+  of_fun "synchronous" (fun ~step:_ ~enabled -> Array.to_list enabled)
+
+(* [Rng.pick] on the array consumes exactly the single draw the
+   historical [Rng.pick_list] did, so seeds keep their streams. *)
 let central_random rng =
-  of_fun "central-random" (fun ~step:_ ~enabled -> [ Rng.pick_list rng enabled ])
+  of_fun "central-random" (fun ~step:_ ~enabled -> [ Rng.pick rng enabled ])
 
 let central_min =
   of_fun "central-min" (fun ~step:_ ~enabled ->
-      match enabled with [] -> [] | p :: _ -> [ p ])
+      if Array.length enabled = 0 then [] else [ enabled.(0) ])
 
 let central_max =
   of_fun "central-max" (fun ~step:_ ~enabled ->
-      match List.rev enabled with [] -> [] | p :: _ -> [ p ])
+      match Array.length enabled with 0 -> [] | n -> [ enabled.(n - 1) ])
 
+(* Same draw sequence as [Rng.nonempty_subset] on the list: one
+   [chance] per enabled node in increasing order, then one uniform
+   pick when the sample came up empty. *)
 let distributed_random rng ~p =
   of_fun
     (Printf.sprintf "distributed-random(p=%.2f)" p)
-    (fun ~step:_ ~enabled -> Rng.nonempty_subset rng ~p enabled)
+    (fun ~step:_ ~enabled ->
+      let acc = ref [] in
+      for i = 0 to Array.length enabled - 1 do
+        if Rng.chance rng p then acc := enabled.(i) :: !acc
+      done;
+      match !acc with [] -> [ Rng.pick rng enabled ] | l -> List.rev l)
 
 let round_robin () =
   let cursor = ref (-1) in
   of_fun "round-robin" (fun ~step:_ ~enabled ->
-      let after = List.filter (fun q -> q > !cursor) enabled in
-      let chosen = match after with q :: _ -> q | [] -> List.hd enabled in
+      (* First enabled node strictly after the cursor: binary search in
+         the sorted enabled array (the historical version filtered the
+         whole list). *)
+      let n = Array.length enabled in
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if enabled.(mid) > !cursor then hi := mid else lo := mid + 1
+      done;
+      let chosen = if !lo < n then enabled.(!lo) else enabled.(0) in
       cursor := chosen;
       [ chosen ])
 

@@ -13,9 +13,11 @@
 
 type t = {
   daemon_name : string;
-  select : step:int -> enabled:int list -> int list;
+  select : step:int -> enabled:int array -> int list;
       (** Must return a nonempty subset of [enabled] (which the engine
-          guarantees to be nonempty and sorted). *)
+          guarantees to be nonempty and sorted).  The array is the
+          engine's reusable cache: read it during the call, do not
+          mutate or retain it. *)
 }
 
 val synchronous : t
@@ -46,5 +48,5 @@ val scripted : ?fallback:t -> int list list -> t
     validates that every scripted node is enabled when activated and
     raises {!Engine.Invalid_selection} otherwise. *)
 
-val of_fun : string -> (step:int -> enabled:int list -> int list) -> t
+val of_fun : string -> (step:int -> enabled:int array -> int list) -> t
 (** Build a custom daemon. *)

@@ -86,18 +86,20 @@ let step algo config selected =
    between steps), so the final, budget-crossing step executes only a
    prefix of the daemon's selection, in the daemon's order. *)
 let cap_selection ~budget selected =
-  (* Single pass, sharing-preserving: returns [selected] itself when it
-     fits (the overwhelmingly common case), else its first [budget]
-     elements. *)
-  let rec go budget l =
-    match l with
-    | [] -> l
-    | _ when budget <= 0 -> []
-    | x :: tl ->
-        let tl' = go (budget - 1) tl in
-        if tl' == tl then l else x :: tl'
-  in
-  go budget selected
+  (* Sharing-preserving and stack-safe: [selected] itself when it fits
+     (the overwhelmingly common case — checked without measuring the
+     full length), else its first [budget] elements.  A synchronous
+     selection at n = 10^6 must neither recurse per element nor pay
+     O(n) when the budget is effectively unlimited. *)
+  if List.compare_length_with selected budget <= 0 then selected
+  else begin
+    let rec take acc k l =
+      match l with
+      | x :: tl when k > 0 -> take (x :: acc) (k - 1) tl
+      | _ -> List.rev acc
+    in
+    take [] budget selected
+  end
 
 (* The three integer/clock limits of one run, resolved from the unified
    budget plus the historical optional arguments (tightest wins). *)
@@ -134,11 +136,11 @@ let make_counters n =
   in
   (note_move, finish)
 
-let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks
-    algo daemon config =
+let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
+    ?observer ?sinks algo daemon config =
   let max_steps, max_moves, deadline = limits ?budget ?max_steps ?max_moves () in
   let note_move, finish = make_counters (Config.n config) in
-  let sched = Sched.create algo config in
+  let sched = Sched.create ~parallel:sharded algo config in
   (* Divergence checking is just another sink on the bus: it reads the
      configuration each event reaches and compares the incrementally
      maintained enabled set against a full naive scan. *)
@@ -154,6 +156,41 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks
               (String.concat "," (List.map string_of_int naive))))
   in
   let emit = bus ?observer ?sinks (if self_check then [ check_sink ] else []) in
+  (* When nothing on the bus can retain configurations (no observer,
+     no sinks, no self-check), step in place on a private copy of the
+     states instead of copying the whole array per step — the O(n)
+     per-step copy is what made 10^6-node runs quadratic.  The input
+     configuration is never mutated either way. *)
+  let observed =
+    Option.is_some observer
+    || (match sinks with Some (_ :: _) -> true | _ -> false)
+    || self_check
+  in
+  let config =
+    if observed then config
+    else Config.with_states config (Array.copy config.Config.states)
+  in
+  let apply_step config selected =
+    if observed then apply config ~rule_of:(Sched.enabled_rule sched) selected
+    else begin
+      (* All moves read the pre-step configuration: compute every new
+         state before writing any.  [List.map] forces the whole list
+         before the write loop. *)
+      let moves =
+        List.map
+          (fun p ->
+            match Sched.enabled_rule sched p with
+            | Some rule ->
+                let view = Config.view config p in
+                (p, rule.Algorithm.rule_name, rule.Algorithm.action view)
+            | None -> assert false (* validated above *))
+          selected
+      in
+      let states = config.Config.states in
+      List.iter (fun (p, _, s) -> states.(p) <- s) moves;
+      (config, List.map (fun (p, r, _) -> (p, r)) moves)
+    end
+  in
   let rec loop config steps moves tracker =
     if Sched.no_enabled sched then (config, steps, moves, Budget.Completed)
     else if moves >= max_moves then
@@ -162,13 +199,11 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?observer ?sinks
       (config, steps, moves, Budget.Tripped Budget.Steps)
     else if deadline () then (config, steps, moves, Budget.Tripped Budget.Deadline)
     else begin
-      let enabled = Sched.enabled sched in
+      let enabled = Sched.enabled_arr sched in
       let selected = daemon.Daemon.select ~step:steps ~enabled in
       validate_with config ~is_enabled:(Sched.is_enabled sched) selected;
       let selected = cap_selection ~budget:(max_moves - moves) selected in
-      let config', moved =
-        apply config ~rule_of:(Sched.enabled_rule sched) selected
-      in
+      let config', moved = apply_step config selected in
       List.iter note_move moved;
       let moved_nodes = List.map fst moved in
       Sched.update sched config' ~moved:moved_nodes;
@@ -196,7 +231,9 @@ let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks algo daemon config
       (config, steps, moves, Budget.Tripped Budget.Steps)
     else if deadline () then (config, steps, moves, Budget.Tripped Budget.Deadline)
     else begin
-      let selected = daemon.Daemon.select ~step:steps ~enabled in
+      let selected =
+        daemon.Daemon.select ~step:steps ~enabled:(Array.of_list enabled)
+      in
       validate_selection config enabled selected;
       let selected = cap_selection ~budget:(max_moves - moves) selected in
       let config', moved =

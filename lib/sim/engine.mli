@@ -54,6 +54,7 @@ val run :
   ?max_steps:int ->
   ?max_moves:int ->
   ?self_check:bool ->
+  ?sharded:bool ->
   ?observer:('s, 'i) observer ->
   ?sinks:('s, 'i) observer list ->
   ('s, 'i) Algorithm.t ->
@@ -62,6 +63,21 @@ val run :
   ('s, 'i) stats
 (** [run algo daemon config] executes until termination or budget
     exhaustion.  [stats.outcome] reports which happened.
+
+    [sharded] (default [false]) runs the dirty-set scheduler on
+    word-aligned node shards evaluated on the {!Ss_par} pool when the
+    dirty set is large — parallelism {e inside} a single run.  Every
+    observable (steps, moves, rounds, configurations, stats) is
+    byte-identical to the sequential engine for every job count; only
+    the wall clock changes (DESIGN.md §12).
+
+    When nothing observes intermediate configurations (no [observer],
+    no [sinks], no [self_check]), the engine steps {e in place} on a
+    private copy of the state array instead of copying it every step.
+    The input configuration is never mutated; [stats.final] is a fresh
+    configuration either way.  Observed runs keep the historical
+    copy-per-step behavior, so sinks may legally retain every
+    configuration they see ({!Trace}).
 
     Budgets: the unified [budget] record and the historical
     [max_steps]/[max_moves] arguments compose — the tightest provided

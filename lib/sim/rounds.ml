@@ -1,25 +1,25 @@
-module Int_set = Nodeset
+type t = { pending : Nodeset.t; mutable completed : int }
 
-type t = { mutable pending : Int_set.t; mutable completed : int }
-
-let create_set ~enabled = { pending = enabled; completed = 0 }
-let create ~enabled = create_set ~enabled:(Int_set.of_list enabled)
+(* [enabled] is typically the scheduler's own (mutable) set, so the
+   tracker keeps a private copy and refreshes it by [assign] — both
+   allocation-free in steady state. *)
+let create_set ~enabled = { pending = Nodeset.copy enabled; completed = 0 }
+let create ~enabled = create_set ~enabled:(Nodeset.of_list enabled)
 
 let note_step_set t ~moved ~enabled_after =
-  if not (Int_set.is_empty t.pending) then begin
-    let moved_set = Int_set.of_list moved in
-    let discharged p =
-      Int_set.mem p moved_set || not (Int_set.mem p enabled_after)
-    in
-    t.pending <- Int_set.filter (fun p -> not (discharged p)) t.pending;
-    if Int_set.is_empty t.pending then begin
+  if not (Nodeset.is_empty t.pending) then begin
+    (* A pending node is discharged by moving or by neutralization
+       (no longer enabled): drop the movers, keep the still-enabled. *)
+    List.iter (fun p -> Nodeset.remove t.pending p) moved;
+    Nodeset.inter t.pending ~src:enabled_after;
+    if Nodeset.is_empty t.pending then begin
       t.completed <- t.completed + 1;
-      t.pending <- enabled_after
+      Nodeset.assign t.pending ~src:enabled_after
     end
   end
 
 let note_step t ~moved ~enabled_after =
-  note_step_set t ~moved ~enabled_after:(Int_set.of_list enabled_after)
+  note_step_set t ~moved ~enabled_after:(Nodeset.of_list enabled_after)
 
 let completed t = t.completed
-let pending t = Int_set.elements t.pending
+let pending t = Nodeset.elements t.pending

@@ -17,7 +17,9 @@ val create : enabled:int list -> t
 
 val create_set : enabled:Nodeset.t -> t
 (** As {!create}, taking the enabled set directly (the incremental
-    engine feeds the tracker from {!Sched.enabled_set}). *)
+    engine feeds the tracker from {!Sched.enabled_set}).  The set is
+    copied — later mutation of [enabled] does not affect the
+    tracker. *)
 
 val note_step : t -> moved:int list -> enabled_after:int list -> unit
 (** [note_step t ~moved ~enabled_after] accounts for one step: nodes

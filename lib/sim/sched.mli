@@ -9,14 +9,25 @@
     steps by re-evaluating guards for dirty nodes alone, instead of
     the [O(n·Δ)] full scan {!Config.enabled_nodes} performs.
 
-    Guard evaluations reuse a per-node neighbor-state buffer, so the
-    steady-state cost of a step that moved [m] nodes is
-    [O(Σ_{p ∈ dirty} (1 + deg p))] guard evaluations and no per-view
-    array allocation.  Guards must therefore be pure and must not
-    retain the [neighbors] array of the view they are given beyond
-    the call — every algorithm in the atomic-state model satisfies
-    this (actions, which may retain data, are never handed buffered
-    views; see {!Engine}).
+    The enabled set is a dense bitset ({!Nodeset}) plus a reusable
+    sorted-array members cache, so steady-state membership updates and
+    queries are allocation-free.  Guard evaluations share one
+    neighbor-state buffer per distinct degree (per shard), refilled in
+    place — guards must therefore be pure and must not retain the
+    [neighbors] array of the view they are given beyond the call;
+    every algorithm in the atomic-state model satisfies this (actions,
+    which may retain data, are never handed buffered views; see
+    {!Engine}).
+
+    {b Sharding} ([~parallel:true]): the node space is partitioned
+    into contiguous, bitset-word-aligned shards with fixed,
+    job-count-independent boundaries.  Each update buckets the dirty
+    nodes by owner shard in one sequential scan, then evaluates the
+    buckets — concurrently on the {!Ss_par} pool when the dirty set is
+    large — with every write (rule slot, bitset word, counters)
+    shard-private, and folds the per-shard deltas back in shard-index
+    order.  Results are byte-identical to the sequential scheduler for
+    every job count (DESIGN.md §12).
 
     The "only the closed neighborhood of [moved] can change" property
     is also what makes {e guard-level} memoization sound downstream:
@@ -29,10 +40,13 @@
 
 type ('s, 'i) t
 
-val create : ('s, 'i) Algorithm.t -> ('s, 'i) Config.t -> ('s, 'i) t
+val create :
+  ?parallel:bool -> ('s, 'i) Algorithm.t -> ('s, 'i) Config.t -> ('s, 'i) t
 (** [create algo config] evaluates every node once ([n] guard
     evaluations) and snapshots the topology.  All later configurations
-    passed to {!update} must carry the same graph (physically). *)
+    passed to {!update} must carry the same graph (physically).
+    [parallel] (default [false]) enables the sharded update path; it
+    never changes any observable result, only the wall clock. *)
 
 val update : ('s, 'i) t -> ('s, 'i) Config.t -> moved:int list -> unit
 (** [update t config ~moved] accounts for one atomic step that changed
@@ -42,14 +56,20 @@ val update : ('s, 'i) t -> ('s, 'i) Config.t -> moved:int list -> unit
     @raise Invalid_argument if [config]'s graph is not the one
     [create] saw. *)
 
-val enabled : ('s, 'i) t -> int list
+val enabled_arr : ('s, 'i) t -> int array
 (** Currently enabled nodes in increasing order (same order as
-    {!Config.enabled_nodes}).  Memoized between membership changes;
-    do not mutate the returned list's cons cells. *)
+    {!Config.enabled_nodes}).  Returns the scheduler's reusable cache:
+    valid until the next {!update}, must not be mutated or retained
+    across steps.  Allocation-free while membership is unchanged. *)
+
+val enabled : ('s, 'i) t -> int list
+(** {!enabled_arr} as a fresh list (allocates; kept for differential
+    checks and debugging). *)
 
 val enabled_set : ('s, 'i) t -> Nodeset.t
 (** The enabled set itself, for set-based consumers
-    ({!Rounds.note_step_set}). *)
+    ({!Rounds.note_step_set}).  Owned by the scheduler: read-only, and
+    mutated in place by {!update}. *)
 
 val no_enabled : ('s, 'i) t -> bool
 (** Whether the configuration is terminal ([O(1)]). *)

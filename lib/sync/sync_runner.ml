@@ -19,8 +19,11 @@ exception Did_not_terminate of string
    Recomputing exactly those nodes yields the same row sequence as
    recomputing all of them (skipped nodes provably keep their state),
    while convergence tails touch only the still-active region. *)
-let run ?budget ?max_rounds ?(sinks = []) algo g ~inputs =
+let run ?budget ?max_rounds ?stop_after ?(sinks = []) algo g ~inputs =
   let n = Graph.n g in
+  let stopped round =
+    match stop_after with Some s -> round >= s | None -> false
+  in
   let b = Option.value budget ~default:Budget.unlimited in
   let max_rounds =
     Budget.resolve ~default:((4 * n) + 64) max_rounds b.Budget.steps
@@ -58,6 +61,8 @@ let run ?budget ?max_rounds ?(sinks = []) algo g ~inputs =
     !acc
   in
   let rec go rows current dirty round =
+    if stopped round then (List.rev rows, round)
+    else begin
     if round > max_rounds then
       give_up (Printf.sprintf "the %d-round budget" max_rounds) round;
     if deadline () then give_up "the wall-clock deadline" round;
@@ -79,6 +84,7 @@ let run ?budget ?max_rounds ?(sinks = []) algo g ~inputs =
     | changed ->
         emit ~round:(round + 1) ~changed next;
         go (next :: rows) next (dirty_of changed ~epoch:round) (round + 1)
+    end
   in
   emit ~round:0 ~changed:(List.init n Fun.id) row0;
   let rows, t = go [ row0 ] row0 (List.init n Fun.id) 0 in

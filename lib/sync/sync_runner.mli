@@ -29,6 +29,7 @@ exception Did_not_terminate of string
 val run :
   ?budget:Ss_report.Budget.t ->
   ?max_rounds:int ->
+  ?stop_after:int ->
   ?sinks:'s sink list ->
   ('s, 'i) Sync_algo.t ->
   Ss_graph.Graph.t ->
@@ -40,6 +41,15 @@ val run :
     rounds here); the default is [4 * n + 64] rounds, ample for all
     the algorithms here, whose [T] is at most [n].
     [budget.deadline_s] is checked once per round.
+
+    [stop_after] truncates the recorded history: the run stops
+    cleanly (no exception) once that many rounds were executed, even
+    without a fixpoint, and [t] is the stop round.  Under a finite
+    transformer bound [B] only rounds [0..B] are ever consulted
+    (heights never exceed [B]), so [stop_after:B] bounds the ground
+    truth to [O(B·n)] memory instead of [O(T·n)] — the million-node
+    checker path.  Note [state_at]'s clamp and [final] then refer to
+    the stop row, not the fixpoint.
     @raise Did_not_terminate when the budget is exhausted. *)
 
 val state_at : ('s, 'i) history -> round:int -> node:int -> 's

@@ -25,13 +25,31 @@ type 's report = {
   outputs : 's array;
 }
 
-let history sc = Sync_runner.run sc.params.Transformer.sync sc.graph ~inputs:sc.inputs
-let clean_start sc = Transformer.clean_config sc.params sc.graph ~inputs:sc.inputs
+let history ?rounds sc =
+  Sync_runner.run ?stop_after:rounds sc.params.Transformer.sync sc.graph
+    ~inputs:sc.inputs
 
-let corrupted_start rng ?p ~max_height sc =
-  Transformer.corrupt rng ?p ~max_height sc.params (clean_start sc)
+let clean_start ?codec sc =
+  match (codec, sc.params.Transformer.bound) with
+  | Some codec, Ss_core.Predicates.Finite _ ->
+      Transformer.packed_config sc.params ~codec sc.graph ~inputs:sc.inputs
+  | _ -> Transformer.clean_config sc.params sc.graph ~inputs:sc.inputs
 
-let run ?(track_recovery = true) ?max_steps sc ~daemon ~start =
+let corrupted_start rng ?p ?codec ~max_height sc =
+  Transformer.corrupt rng ?p ~max_height sc.params (clean_start ?codec sc)
+
+(* Above this population the per-step root scan of recovery tracking
+   (O(n·deg) per step) dominates the run itself; big-n campaigns track
+   totals only unless the caller insists. *)
+let track_recovery_threshold = 65_536
+
+let run ?track_recovery ?budget ?max_steps ?(sharded = false) sc ~daemon ~start
+    =
+  let track_recovery =
+    match track_recovery with
+    | Some b -> b
+    | None -> Config.n start < track_recovery_threshold
+  in
   (* Recovery phase end: the first configuration without a root.  Roots
      cannot be created (paper §4), so once none remains the recovery
      phase is over for good. *)
@@ -50,8 +68,18 @@ let run ?(track_recovery = true) ?max_steps sc ~daemon ~start =
   let observer =
     if track_recovery then Some observer else None
   in
-  let stats = Transformer.run ?max_steps ?observer sc.params daemon start in
-  let hist = history sc in
+  let stats =
+    Transformer.run ?budget ?max_steps ~sharded ?observer sc.params daemon
+      start
+  in
+  (* Under a finite bound only rounds 0..B of the ground truth are
+     ever consulted (heights never exceed B), so the history can be
+     cut there — O(B·n) memory instead of O(T·n) at n = 10^6. *)
+  let hist =
+    match sc.params.Transformer.bound with
+    | Ss_core.Predicates.Finite b -> history ~rounds:b sc
+    | Ss_core.Predicates.Infinite -> history sc
+  in
   let legitimate =
     stats.Engine.terminated
     && Checker.legitimate_terminal sc.params hist stats.Engine.final = Ok ()

@@ -35,16 +35,25 @@ type 's report = {
 }
 
 val history :
-  ('s, 'i) scenario -> ('s, 'i) Ss_sync.Sync_runner.history
-(** The synchronous ground truth of the scenario. *)
+  ?rounds:int -> ('s, 'i) scenario -> ('s, 'i) Ss_sync.Sync_runner.history
+(** The synchronous ground truth of the scenario.  [rounds] cuts the
+    recorded history after that many rounds
+    ({!Ss_sync.Sync_runner.run}'s [stop_after]) — sound whenever only
+    rounds up to a finite transformer bound are consulted. *)
 
 val clean_start :
-  ('s, 'i) scenario -> ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t
-(** The controlled initial configuration. *)
+  ?codec:'s Ss_core.Cellpack.codec ->
+  ('s, 'i) scenario ->
+  ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t
+(** The controlled initial configuration.  With [codec] and a finite
+    bound, the states live in one packed {!Ss_core.Cellpack} arena
+    ({!Ss_core.Transformer.packed_config} — the million-node layout);
+    otherwise boxed. *)
 
 val corrupted_start :
   Ss_prelude.Rng.t ->
   ?p:float ->
+  ?codec:'s Ss_core.Cellpack.codec ->
   max_height:int ->
   ('s, 'i) scenario ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t
@@ -53,14 +62,20 @@ val corrupted_start :
 
 val run :
   ?track_recovery:bool ->
+  ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
+  ?sharded:bool ->
   ('s, 'i) scenario ->
   daemon:Ss_sim.Daemon.t ->
   start:('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   's report
-(** Execute and measure.  [track_recovery] (default [true]) checks for
-    remaining roots after every step — disable it for very long runs
-    where only totals matter. *)
+(** Execute and measure.  [track_recovery] checks for remaining roots
+    after every step; its default is [true] below 65536 nodes and
+    [false] above (the per-step O(n·deg) root scan would dominate a
+    big run).  [budget] and [sharded] pass through to
+    {!Ss_core.Transformer.run}.  Under a finite bound [B] the
+    legitimacy check uses a ground-truth history cut at [B] rounds —
+    exactly what terminal lists (heights ≤ B) can reference. *)
 
 val daemon_portfolio :
   Ss_prelude.Rng.t -> (string * Ss_sim.Daemon.t) list

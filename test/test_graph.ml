@@ -74,6 +74,133 @@ let test_fold_and_max_degree () =
 (* Builders                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* CSR layout                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_csr_accessors () =
+  let graphs =
+    [
+      ("torus", Builders.torus ~rows:3 ~cols:4);
+      ("cycle", Builders.cycle 6);
+      ("random", Builders.random_connected (Rng.create 5) ~n:9 ~extra_edges:4);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      Graph.iter_nodes g (fun p ->
+          let nbrs = Graph.neighbors g p in
+          check_int (name ^ ": degree") (Array.length nbrs) (Graph.degree g p);
+          Array.iteri
+            (fun i q -> check_int (name ^ ": nbr") q (Graph.nbr g p i))
+            nbrs;
+          let collected = ref [] in
+          Graph.iter_neighbors g p (fun q -> collected := q :: !collected);
+          check (name ^ ": iter_neighbors") true
+            (List.rev !collected = Array.to_list nbrs);
+          check (name ^ ": fold_neighbors") true
+            (Graph.fold_neighbors g p ~init:[] ~f:(fun acc q -> q :: acc)
+            = !collected));
+      check (name ^ ": memory_words") true
+        (Graph.memory_words g >= Graph.n g + 1 + (2 * Graph.m g)))
+    graphs
+
+let test_of_csr_validation () =
+  let mk offsets targets =
+    ignore (Graph.of_csr ~offsets ~targets ())
+  in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph: node 0 has out-of-range neighbor 5") (fun () ->
+      mk [| 0; 1; 2 |] [| 5; 0 |]);
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph: self-loop at node 1") (fun () ->
+      mk [| 0; 1; 2 |] [| 1; 1 |]);
+  Alcotest.check_raises "parallel edge"
+    (Invalid_argument "Graph: parallel edge {0,1}") (fun () ->
+      mk [| 0; 2; 4 |] [| 1; 1; 0; 0 |]);
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Graph: edge {0,1} is not symmetric") (fun () ->
+      mk [| 0; 1; 1 |] [| 1 |]);
+  check "non-monotone offsets rejected" true
+    (try
+       mk [| 0; 2; 1 |] [| 1; 0 |];
+       false
+     with Invalid_argument _ -> true);
+  (* validate:false adopts anything well-formed without the O(m log m)
+     symmetry pass. *)
+  let g = Graph.of_csr ~validate:false ~offsets:[| 0; 1; 2 |] ~targets:[| 1; 0 |] () in
+  check_int "validate:false n" 2 (Graph.n g)
+
+let test_of_edge_stream () =
+  let reference = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let edges = [| (0, 1); (1, 2); (2, 3); (3, 4) |] in
+  let streamed = Graph.of_edge_stream ~n:5 ~count:4 (fun i -> edges.(i)) in
+  Graph.iter_nodes reference (fun p ->
+      check "stream matches edge list" true
+        (Graph.neighbors streamed p = Graph.neighbors reference p))
+
+(* The streamed torus must reproduce the historical builder — every
+   edge consed onto a list in row-major generation order (right edge
+   then down edge per node) and handed to [of_edges], i.e. processed
+   in {e reverse} generation order — port for port. *)
+let test_torus_stream_matches_legacy () =
+  List.iter
+    (fun (rows, cols) ->
+      let legacy =
+        let id r c = (r * cols) + c in
+        let edges = ref [] in
+        for r = 0 to rows - 1 do
+          for c = 0 to cols - 1 do
+            edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+            edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+          done
+        done;
+        Graph.of_edges ~n:(rows * cols) !edges
+      in
+      let streamed = Builders.torus ~rows ~cols in
+      check_int "m" (Graph.m legacy) (Graph.m streamed);
+      Graph.iter_nodes legacy (fun p ->
+          check
+            (Printf.sprintf "torus %dx%d node %d ports" rows cols p)
+            true
+            (Graph.neighbors streamed p = Graph.neighbors legacy p)))
+    [ (3, 3); (3, 4); (5, 7) ]
+
+let test_random4 () =
+  List.iter
+    (fun (seed, n) ->
+      let g = Builders.random4 (Rng.create seed) n in
+      check_int "n" n (Graph.n g);
+      check_int "m" (2 * n) (Graph.m g);
+      Graph.iter_nodes g (fun p ->
+          check_int "4-regular" 4 (Graph.degree g p);
+          let nbrs = Graph.neighbors g p in
+          Array.iteri
+            (fun i q ->
+              check "no self-loop" true (q <> p);
+              check "in range" true (q >= 0 && q < n);
+              check "symmetric" true
+                (Array.exists (fun r -> r = p) (Graph.neighbors g q));
+              for j = i + 1 to 3 do
+                check "simple" true (q <> nbrs.(j))
+              done)
+            nbrs);
+      let dist = Properties.bfs_distances g 0 in
+      check "connected" true (Array.for_all (fun d -> d >= 0) dist);
+      (* Same seed, same graph. *)
+      let g' = Builders.random4 (Rng.create seed) n in
+      Graph.iter_nodes g (fun p ->
+          check "deterministic" true
+            (Graph.neighbors g p = Graph.neighbors g' p)))
+    [ (1, 8); (2, 17); (3, 40); (4, 64) ]
+
+let test_random4_rejects () =
+  check "n < 8 rejected" true
+    (try
+       ignore (Builders.random4 (Rng.create 1) 7);
+       false
+     with Invalid_argument _ -> true)
+
 let test_path () =
   let g = Builders.path 5 in
   check_int "m" 4 (Graph.m g);
@@ -392,6 +519,14 @@ let () =
           Alcotest.test_case "edges listing" `Quick test_edges_listing;
           Alcotest.test_case "fold / max degree" `Quick test_fold_and_max_degree;
         ] );
+      ( "csr",
+        [
+          Alcotest.test_case "accessors" `Quick test_csr_accessors;
+          Alcotest.test_case "of_csr validation" `Quick test_of_csr_validation;
+          Alcotest.test_case "edge stream" `Quick test_of_edge_stream;
+          Alcotest.test_case "torus stream ≡ legacy" `Quick
+            test_torus_stream_matches_legacy;
+        ] );
       ( "builders",
         [
           Alcotest.test_case "path" `Quick test_path;
@@ -409,6 +544,8 @@ let () =
           Alcotest.test_case "caterpillar" `Quick test_caterpillar;
           Alcotest.test_case "random tree" `Quick test_random_tree;
           Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "random4" `Quick test_random4;
+          Alcotest.test_case "random4 rejects" `Quick test_random4_rejects;
         ] );
       ( "properties",
         [

@@ -205,15 +205,15 @@ let test_observer_sequence () =
 
 let test_central_min_max () =
   Alcotest.(check (list int)) "min" [ 2 ]
-    (Daemon.central_min.Daemon.select ~step:0 ~enabled:[ 2; 5; 9 ]);
+    (Daemon.central_min.Daemon.select ~step:0 ~enabled:[| 2; 5; 9 |]);
   Alcotest.(check (list int)) "max" [ 9 ]
-    (Daemon.central_max.Daemon.select ~step:0 ~enabled:[ 2; 5; 9 ])
+    (Daemon.central_max.Daemon.select ~step:0 ~enabled:[| 2; 5; 9 |])
 
 let test_distributed_random_nonempty () =
   let rng = Rng.create 5 in
   let d = Daemon.distributed_random rng ~p:0.05 in
   for _ = 1 to 100 do
-    let s = d.Daemon.select ~step:0 ~enabled:[ 1; 2; 3 ] in
+    let s = d.Daemon.select ~step:0 ~enabled:[| 1; 2; 3 |] in
     check "nonempty" true (s <> []);
     check "subset" true (List.for_all (fun x -> List.mem x [ 1; 2; 3 ]) s)
   done
@@ -221,16 +221,16 @@ let test_distributed_random_nonempty () =
 let test_round_robin_cycles () =
   let d = Daemon.round_robin () in
   let sel enabled = List.hd (d.Daemon.select ~step:0 ~enabled) in
-  check_int "first" 1 (sel [ 1; 3; 5 ]);
-  check_int "next" 3 (sel [ 1; 3; 5 ]);
-  check_int "next" 5 (sel [ 1; 3; 5 ]);
-  check_int "wraps" 1 (sel [ 1; 3; 5 ])
+  check_int "first" 1 (sel [| 1; 3; 5 |]);
+  check_int "next" 3 (sel [| 1; 3; 5 |]);
+  check_int "next" 5 (sel [| 1; 3; 5 |]);
+  check_int "wraps" 1 (sel [| 1; 3; 5 |])
 
 let test_round_robin_instances_independent () =
   let d1 = Daemon.round_robin () and d2 = Daemon.round_robin () in
-  let s1 = d1.Daemon.select ~step:0 ~enabled:[ 1; 2 ] in
-  let s1' = d1.Daemon.select ~step:0 ~enabled:[ 1; 2 ] in
-  let s2 = d2.Daemon.select ~step:0 ~enabled:[ 1; 2 ] in
+  let s1 = d1.Daemon.select ~step:0 ~enabled:[| 1; 2 |] in
+  let s1' = d1.Daemon.select ~step:0 ~enabled:[| 1; 2 |] in
+  let s2 = d2.Daemon.select ~step:0 ~enabled:[| 1; 2 |] in
   check "fresh cursor per instance" true (s1 = s2 && s1 <> s1')
 
 let test_scripted_daemon () =
