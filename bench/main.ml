@@ -177,12 +177,12 @@ let bench_msgnet_recovery ~indexed ~n () =
   in
   let tight = (2 * G.Graph.m g) + 2 in
   let heartbeat_every = if tight >= 400 then 4 * G.Graph.m g else tight in
-  let run =
-    if indexed then Ss_msgnet.Msgnet.run else Ss_msgnet.Msgnet.run_naive
-  in
   fun () ->
     let rng = Rng.create 23 in
-    let _, stats = run ~heartbeat_every ~rng params start in
+    let _, stats =
+      if indexed then Ss_msgnet.Msgnet.run ~heartbeat_every ~rng params start
+      else Ss_msgnet.Msgnet.run_naive ~heartbeat_every ~rng params start
+    in
     assert stats.Ss_msgnet.Msgnet.quiescent
 
 (* Deep-ladder clean simulation: min-flood on a path with distinct
@@ -537,7 +537,18 @@ let micro_benchmarks () =
   List.iter (Table.add engine_table) (parallel_sweep ());
   List.iter (Table.add engine_table) (memory_rows ());
   emit_json "BENCH_engine.json" "engine micro-benchmarks" engine_table;
-  emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table
+  emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table;
+  (* The chaos grid rides along: scenario × algorithm × graph, fully
+     deterministic (virtual clocks, per-cell seeds), so this artefact
+     is byte-stable across machines and job counts — unlike the two
+     timing files above. *)
+  let sim_table, sim_ok =
+    Ss_expt.Sim_expt.rows
+      (Ss_expt.Sim_expt.default_workloads (Ss_prelude.Rng.create 42))
+  in
+  if not sim_ok then
+    failwith "sim grid: a scenario cell failed to re-stabilize";
+  emit_json "BENCH_sim.json" "chaos-mode scenario grid" sim_table
 
 let () =
   let t0 = Unix.gettimeofday () in

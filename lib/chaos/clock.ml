@@ -1,0 +1,14 @@
+type t = { mutable now : float; dt : float }
+
+let create ?(t0 = 0.) ?(dt = 1e-5) () =
+  if dt < 0. then invalid_arg "Clock.create: dt must be >= 0";
+  { now = t0; dt }
+
+let now t = t.now
+let tick t = t.now <- t.now +. t.dt
+
+let advance t dt =
+  if dt < 0. then invalid_arg "Clock.advance: dt must be >= 0";
+  t.now <- t.now +. dt
+
+let now_fn t () = t.now

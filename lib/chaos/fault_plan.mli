@@ -1,0 +1,71 @@
+(** Deterministic fault plans — the chaos layer's decision maker.
+
+    A plan bundles ppm-rated message-fault probabilities (drop /
+    duplicate / reorder, TigerBeetle-style parts-per-million) with a
+    finite schedule of mid-run state-corruption events, all driven by
+    a {e private} splitmix64 stream derived from the plan seed.  The
+    run loop that consults a plan never mixes plan draws into its own
+    scheduler rng, so:
+
+    - the same [(seed, rates, corrupt_at)] triple replays every
+      verdict bit-for-bit;
+    - a null plan leaves the host run byte-identical to a fault-free
+      one (zero extra draws on the run's stream).
+
+    The consumer ({!Ss_msgnet.Msgnet.run}) consults the plan once per
+    delivery pick and asks {!corruption_due} once per event. *)
+
+val ppm_scale : int
+(** [1_000_000] — rates are parts per million. *)
+
+type rates = { drop_ppm : int; reorder_ppm : int; dup_ppm : int }
+
+val no_rates : rates
+(** All-zero rates. *)
+
+val rates : ?drop_ppm:int -> ?reorder_ppm:int -> ?dup_ppm:int -> unit -> rates
+(** Validated constructor.
+    @raise Invalid_argument if any rate is outside [\[0, ppm_scale\]]. *)
+
+type t
+
+val v :
+  ?rates:rates -> ?corrupt_at:int list -> ?horizon:int -> seed:int -> unit -> t
+(** [v ~rates ~corrupt_at ~horizon ~seed ()] is a fresh plan.
+    [corrupt_at] lists the event (or step) indices at which one mid-run
+    transient corruption fires; it is deduplicated and sorted.
+    [horizon] (default unbounded) is the event index past which the
+    ppm rates stop applying.  Both make the fault schedule {e finite},
+    so a self-stabilizing system always gets a fault-free suffix to
+    re-stabilize in — the convergence promise under test is "after the
+    last transient fault", not "under a perpetual fault process".
+    @raise Invalid_argument on a negative index or horizon. *)
+
+val null : unit -> t
+(** A plan that never injects anything. *)
+
+val is_null : t -> bool
+
+val rng : t -> Ss_prelude.Rng.t
+(** The plan's private stream — used by the host loop to pick
+    corruption victims and drive mutators, keeping every chaos draw
+    off the scheduler's stream. *)
+
+type verdict = Deliver | Drop | Duplicate | Reorder
+
+val consult : t -> event:int -> verdict
+(** One delivery-pick decision at event index [event].  {b Draw
+    discipline}: exactly three draws from the plan stream per consult
+    (drop, then duplicate, then reorder — drop wins, then duplicate,
+    then reorder), no matter which verdict results, so the stream's
+    alignment depends only on how many picks preceded the event.  Once
+    [event] reaches the plan's horizon the plan is inert — zero draws,
+    unconditional [Deliver]. *)
+
+val corruption_due : t -> event:int -> bool
+(** [corruption_due t ~event] is [true] when the head of the
+    remaining corruption schedule is [<= event]; the head is consumed.
+    At most one corruption fires per call — call once per event. *)
+
+val pending_corruptions : t -> int
+(** Remaining scheduled corruption events. *)

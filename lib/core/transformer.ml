@@ -144,6 +144,8 @@ let corrupt_state rng ~max_height params input (st : 's St.t) =
   | _ -> flip_status ()
 
 let corrupt rng ?(p = 1.0) ~max_height params config =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Transformer.corrupt: p = %g not in [0, 1]" p);
   let states =
     Array.mapi
       (fun node st ->
@@ -154,8 +156,8 @@ let corrupt rng ?(p = 1.0) ~max_height params config =
   in
   Config.with_states config states
 
-let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
-    ?observer ?sinks p daemon config =
+let run ?budget ?max_steps ?max_moves ?now ?chaos ?(self_check = false)
+    ?(sharded = false) ?observer ?sinks p daemon config =
   (* The prefix-verification cache is a plain Hashtbl — not
      domain-safe — so sharded runs (guards evaluated on the Ss_par
      pool) use the uncached reference predicates; with the finite
@@ -184,11 +186,12 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
       check :: sinks
     end
   in
-  Engine.run ?budget ?max_steps ?max_moves ~self_check ~sharded ?observer
-    ~sinks algo daemon config
+  Engine.run ?budget ?max_steps ?max_moves ?now ?chaos ~self_check ~sharded
+    ?observer ~sinks algo daemon config
 
-let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks p daemon config =
-  Engine.run_naive ?budget ?max_steps ?max_moves ?observer ?sinks
+let run_naive ?budget ?max_steps ?max_moves ?now ?observer ?sinks p daemon
+    config =
+  Engine.run_naive ?budget ?max_steps ?max_moves ?now ?observer ?sinks
     (algorithm_uncached p) daemon config
 
 let outputs config = Array.map St.top config.Config.states

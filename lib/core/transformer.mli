@@ -105,7 +105,9 @@ val corrupt :
     an empty zero-capacity list) fall back to a status flip, so a hit
     node always actually changes.  Heights never exceed
     [min(max_height, B)] and the read-only [init] field is
-    preserved. *)
+    preserved.
+    @raise Invalid_argument if [p] is outside [[0, 1]] (including
+    NaN). *)
 
 val corrupt_state :
   Ss_prelude.Rng.t ->
@@ -122,6 +124,8 @@ val run :
   ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
+  ?now:(unit -> float) ->
+  ?chaos:('s Trans_state.t, 'i) Ss_sim.Engine.chaos ->
   ?self_check:bool ->
   ?sharded:bool ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
@@ -148,6 +152,7 @@ val run_naive :
   ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
+  ?now:(unit -> float) ->
   ?observer:('s Trans_state.t, 'i) Ss_sim.Engine.observer ->
   ?sinks:('s Trans_state.t, 'i) Ss_sim.Engine.observer list ->
   ('s, 'i) params ->

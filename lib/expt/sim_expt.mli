@@ -1,0 +1,71 @@
+(** Chaos-mode simulation grids: scenario × algorithm × graph.
+
+    Every cell runs both execution loops through a named
+    {!Ss_chaos.Scenario} — the dirty-set engine with scheduled mid-run
+    corruption and per-step shadow-state checks ([self_check] plus a
+    height-invariant observer), and the message network with ppm-rated
+    drop/duplicate/reorder injection, a stream-conservation event sink,
+    and the fault-free {!Ss_msgnet.Msgnet.run_naive} twin as ground
+    truth for the final outputs.  Both legs run on deterministic
+    virtual clocks ({!Ss_chaos.Clock}), so deadline budgets and every
+    reported figure replay byte-identically — for any [-j], per the
+    DESIGN.md §11 campaign-determinism contract.
+
+    An "ok" cell certifies that the run reached verified quiescence
+    {e through} the injected faults and that the terminal configuration
+    is legitimate against the synchronous ground truth — the paper's
+    §3 claim exercised in an arbitrary asynchronous environment rather
+    than only from a bad start. *)
+
+exception Invariant_violation of string
+(** Raised (from inside the pool) the moment any per-event invariant
+    breaks: engine heights out of range, non-monotone wave nonces,
+    deliveries unbacked by sends, or fault counters disagreeing with
+    the event stream.  Escapes {!rows} so harness bugs fail loudly
+    instead of averaging into a table cell. *)
+
+type workload
+(** One algorithm instantiated on one graph, with its synchronous
+    ground-truth history precomputed. *)
+
+val workload :
+  Ss_prelude.Rng.t ->
+  algo:string ->
+  graph_name:string ->
+  Ss_graph.Graph.t ->
+  workload
+(** [workload rng ~algo ~graph_name g] builds a grid workload.
+    Algorithms: ["leader"], ["bfs"], ["coloring"] (Cole-Vishkin;
+    requires a ring).  The rng seeds algorithm inputs (ids); the
+    synchronous history is computed here, once, outside the pool.
+    @raise Failure on an unknown algorithm or a non-ring coloring
+    topology. *)
+
+val algo_names : string list
+(** The supported algorithm names, grid order. *)
+
+val workloads_for :
+  ?algos:string list ->
+  Ss_prelude.Rng.t ->
+  (string * Ss_graph.Graph.t) list ->
+  workload list
+(** [workloads_for rng graphs] crosses the named graphs with [algos]
+    (default {!algo_names}).  When [algos] has several members,
+    ring-only algorithms are silently skipped on unfit topologies; a
+    single-algorithm list keeps {!workload}'s strict failure. *)
+
+val default_workloads : ?algos:string list -> Ss_prelude.Rng.t -> workload list
+(** The built-in grid: ring and random-connected topologies × every
+    algorithm that fits them. *)
+
+val rows :
+  ?scenarios:Ss_chaos.Scenario.t list ->
+  ?seeds:int list ->
+  workload list ->
+  Ss_prelude.Table.t * bool
+(** [rows workloads] runs the scenario × workload grid on the shared
+    {!Ss_par.Par} pool (two rows per cell: ["engine"] and ["msgnet"])
+    and returns the typed table plus the conjunction of every cell's
+    "ok" — [false] means some run failed to re-stabilize to a
+    legitimate quiescent configuration.  Defaults:
+    [scenarios = Scenario.all], [seeds = \[1; 2\]]. *)

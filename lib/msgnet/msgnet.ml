@@ -26,8 +26,17 @@ type event =
   | Sent of { src : int; dst : int; kind : msg_kind; bits : int }
   | Delivered of { src : int; dst : int; kind : msg_kind }
   | Wave of { nonce : int }
+  | Dropped of { src : int; dst : int; kind : msg_kind }
+  | Duplicated of { src : int; dst : int; kind : msg_kind }
+  | Reordered of { src : int; dst : int }
+  | Corrupted of { node : int }
 
 type sink = event -> unit
+
+type 's chaos = {
+  plan : Ss_chaos.Fault_plan.t;
+  mutate : Rng.t -> int -> 's St.t -> 's St.t;
+}
 
 type stats = {
   deliveries : int;
@@ -41,6 +50,10 @@ type stats = {
   full_copy_messages : int;
   full_copy_bits : int;
   proof_waves : int;
+  dropped_messages : int;
+  reordered_messages : int;
+  duplicated_messages : int;
+  corruption_events : int;
   quiescent : bool;
   outcome : Budget.outcome;
 }
@@ -62,6 +75,10 @@ type 's counters = {
   mutable full_copy_bits : int;
   mutable proof_waves : int;
   mutable requests_in_wave : int;
+  mutable dropped : int;
+  mutable reordered : int;
+  mutable duplicated : int;
+  mutable corruptions : int;
 }
 
 let fresh_counters () =
@@ -78,6 +95,10 @@ let fresh_counters () =
     full_copy_bits = 0;
     proof_waves = 0;
     requests_in_wave = 0;
+    dropped = 0;
+    reordered = 0;
+    duplicated = 0;
+    corruptions = 0;
   }
 
 let delta_of_move rule_name new_state =
@@ -119,7 +140,7 @@ let kind_of_message = function
   | Full_copy _ -> K_full_copy
 
 let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
-    ?(proof = Energy.default_proof_cost) ?heartbeat_every ~rng
+    ?(proof = Energy.default_proof_cost) ?heartbeat_every ?now ?chaos ~rng
     ?(corrupt_mirrors = true) ?(sinks = []) params config =
   let g = config.Config.graph in
   let n = Config.n config in
@@ -133,7 +154,7 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
   let max_events =
     Budget.resolve ~default:2_000_000 max_events b.Budget.deliveries
   in
-  let deadline = Budget.deadline_check b in
+  let deadline = Budget.deadline_check ?now b in
   let observing = sinks <> [] in
   let emit ev = List.iter (fun s -> s ev) sinks in
   let serialize = canonical_bytes in
@@ -334,11 +355,20 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
      only current-wave proofs can raise requests, so the reset at wave
      start can never erase or miscount in-flight evidence. *)
   let nonce = ref 0L in
+  (* Wave integrity.  Quiescence is deduced from "the last wave raised
+     no request" — sound over loss-free FIFO channels, but any chaos
+     action (drop, duplicate, reorder, corruption) after the wave began
+     can hide a stale mirror or perturb one after its proof verified.
+     So every chaos action clears this flag and completion additionally
+     requires a chaos-free wave window; the expected wait is
+     e^(rate·2m) waves, negligible for the shipped scenario rates. *)
+  let wave_intact = ref false in
+  let chaos_hit () = wave_intact := false in
 
-  let deliver cid =
-    let q = chan_queue cid in
-    let msg = Queue.pop q in
-    if indexed && Queue.is_empty q then Chanset.remove active cid;
+  (* Deliver [msg], already popped from (or peeked at the head of)
+     channel [cid]: count it, notify sinks, and run the receiver's
+     protocol reaction. *)
+  let process cid msg =
     c.deliveries <- c.deliveries + 1;
     let v = chan_dst.(cid) in
     if observing then
@@ -376,6 +406,61 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
         act v
   in
 
+  let deliver cid =
+    let q = chan_queue cid in
+    let msg = Queue.pop q in
+    if indexed && Queue.is_empty q then Chanset.remove active cid;
+    process cid msg
+  in
+
+  (* Chaos actions, each charged as one event.  Drop discards the
+     channel head; duplicate delivers the head while the copy stays
+     queued (so the same message is processed again later); reorder
+     rotates the head behind the rest of the FIFO (a no-op disguise
+     when the queue holds a single message, where it degenerates to a
+     plain delivery). *)
+  let chaos_drop cid =
+    let q = chan_queue cid in
+    let msg = Queue.pop q in
+    if indexed && Queue.is_empty q then Chanset.remove active cid;
+    c.dropped <- c.dropped + 1;
+    chaos_hit ();
+    if observing then
+      emit
+        (Dropped
+           {
+             src = chan_src.(cid);
+             dst = chan_dst.(cid);
+             kind = kind_of_message msg;
+           })
+  in
+  let chaos_duplicate cid =
+    let msg = Queue.peek (chan_queue cid) in
+    c.duplicated <- c.duplicated + 1;
+    chaos_hit ();
+    if observing then
+      emit
+        (Duplicated
+           {
+             src = chan_src.(cid);
+             dst = chan_dst.(cid);
+             kind = kind_of_message msg;
+           });
+    process cid msg
+  in
+  let chaos_reorder cid =
+    let q = chan_queue cid in
+    if Queue.length q < 2 then deliver cid
+    else begin
+      let msg = Queue.pop q in
+      Queue.push msg q;
+      c.reordered <- c.reordered + 1;
+      chaos_hit ();
+      if observing then
+        emit (Reordered { src = chan_src.(cid); dst = chan_dst.(cid) })
+    end
+  in
+
   let node_scratch = Array.make n 0 in
   let pick_enabled_on_mirrors () =
     let k = ref 0 in
@@ -395,7 +480,14 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     if !k = 0 then -1 else node_scratch.(Rng.int rng !k)
   in
 
-  let proof_wave () =
+  (* [at] is the event index firing the wave, recorded so the periodic
+     heartbeat never stacks a second wave right on top of a
+     quiescence-probe wave (which would supersede its nonce and erase
+     its evidence before a single proof is delivered). *)
+  let last_wave_event = ref (-1) in
+  let proof_wave ~at =
+    last_wave_event := at;
+    wave_intact := true;
     nonce := Int64.add !nonce 1L;
     c.proof_waves <- c.proof_waves + 1;
     c.requests_in_wave <- 0;
@@ -414,14 +506,42 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     if events >= max_events then Budget.Tripped Budget.Deliveries
     else if deadline () then Budget.Tripped Budget.Deadline
     else begin
+      (* Scheduled transient corruption: mutate a victim's real state
+         mid-run, exactly as §3's arbitrary-configuration premise
+         allows.  The serialization cache must be invalidated or the
+         next wave would prove the pre-corruption bytes. *)
+      (match chaos with
+      | Some ch when Ss_chaos.Fault_plan.corruption_due ch.plan ~event:events
+        ->
+          let crng = Ss_chaos.Fault_plan.rng ch.plan in
+          let victim = Rng.int crng n in
+          states.(victim) <- ch.mutate crng victim states.(victim);
+          state_ser.(victim) <- None;
+          c.corruptions <- c.corruptions + 1;
+          chaos_hit ();
+          if observing then emit (Corrupted { node = victim })
+      | _ -> ());
       (* Periodic heartbeat: without it, delta updates applied to a
          corrupted mirror would keep it wrong forever and the system
          could churn indefinitely (§6's proofs are timer-driven, not
-         quiescence-driven). *)
-      if events > 0 && events mod heartbeat_every = 0 then proof_wave ();
+         quiescence-driven).  Suppressed when the previous event already
+         fired a quiescence-probe wave — stacking a second wave would
+         supersede the probe's nonce before any of its proofs land. *)
+      if
+        events > 0
+        && events mod heartbeat_every = 0
+        && !last_wave_event < events - 1
+      then proof_wave ~at:events;
       match pick_channel () with
       | cid when cid >= 0 ->
-          deliver cid;
+          (match chaos with
+          | None -> deliver cid
+          | Some ch -> (
+              match Ss_chaos.Fault_plan.consult ch.plan ~event:events with
+              | Ss_chaos.Fault_plan.Deliver -> deliver cid
+              | Ss_chaos.Fault_plan.Drop -> chaos_drop cid
+              | Ss_chaos.Fault_plan.Duplicate -> chaos_duplicate cid
+              | Ss_chaos.Fault_plan.Reorder -> chaos_reorder cid));
           loop (events + 1)
       | _ -> (
           match pick_enabled_on_mirrors () with
@@ -432,13 +552,18 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
               (* Local quiescence.  The last wave's proofs have all been
                  delivered (no channel is pending) and, being
                  current-wave on delivery, none were dropped as stale:
-                 if the wave verified every mirror (no request), the
-                 states are terminal for the atomic-state transformer;
-                 otherwise heartbeat. *)
-              if c.proof_waves > 0 && c.requests_in_wave = 0 then
-                Budget.Completed
+                 if the wave verified every mirror (no request) and no
+                 chaos action touched the window, the states are
+                 terminal for the atomic-state transformer; otherwise
+                 re-probe.  The deadline is re-checked first so a run
+                 that drains its channels past its time budget reports
+                 [Tripped Deadline] instead of spinning probe waves (or
+                 claiming [Completed]) on borrowed time. *)
+              if c.proof_waves > 0 && c.requests_in_wave = 0 && !wave_intact
+              then Budget.Completed
+              else if deadline () then Budget.Tripped Budget.Deadline
               else begin
-                proof_wave ();
+                proof_wave ~at:events;
                 loop (events + 1)
               end)
     end
@@ -457,24 +582,28 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
       full_copy_messages = c.full_copy_messages;
       full_copy_bits = c.full_copy_bits;
       proof_waves = c.proof_waves;
+      dropped_messages = c.dropped;
+      reordered_messages = c.reordered;
+      duplicated_messages = c.duplicated;
+      corruption_events = c.corruptions;
       quiescent = outcome = Budget.Completed;
       outcome;
     }
   in
   (Config.with_states config states, stats)
 
-let run ?encoding ?budget ?max_events ?proof ?heartbeat_every ~rng
+let run ?encoding ?budget ?max_events ?proof ?heartbeat_every ?now ?chaos ~rng
     ?corrupt_mirrors ?sinks params config =
   run_impl ~indexed:true ?encoding ?budget ?max_events ?proof ?heartbeat_every
-    ~rng ?corrupt_mirrors ?sinks params config
+    ?now ?chaos ~rng ?corrupt_mirrors ?sinks params config
 
-let run_naive ?encoding ?budget ?max_events ?proof ?heartbeat_every ~rng
+let run_naive ?encoding ?budget ?max_events ?proof ?heartbeat_every ?now ~rng
     ?corrupt_mirrors ?sinks params config =
   run_impl ~indexed:false ?encoding ?budget ?max_events ?proof ?heartbeat_every
-    ~rng ?corrupt_mirrors ?sinks params config
+    ?now ~rng ?corrupt_mirrors ?sinks params config
 
-let report ?(label = "msgnet-run") ?seed ?wall_s (s : stats) =
-  Run_report.v ?seed ?wall_s ~outcome:s.outcome label
+let report ?(label = "msgnet-run") ?seed ?wall_s ?timebase (s : stats) =
+  Run_report.v ?seed ?wall_s ?timebase ~outcome:s.outcome label
     (Run_report.Msgnet
        {
          Run_report.deliveries = s.deliveries;
@@ -488,5 +617,9 @@ let report ?(label = "msgnet-run") ?seed ?wall_s (s : stats) =
          full_copy_messages = s.full_copy_messages;
          full_copy_bits = s.full_copy_bits;
          proof_waves = s.proof_waves;
+         dropped_messages = s.dropped_messages;
+         reordered_messages = s.reordered_messages;
+         duplicated_messages = s.duplicated_messages;
+         corruption_events = s.corruption_events;
          total_bits = total_bits s;
        })

@@ -58,12 +58,40 @@ type event =
   | Delivered of { src : int; dst : int; kind : msg_kind }
       (** The head of the [src → dst] channel was delivered. *)
   | Wave of { nonce : int }  (** A proof wave started. *)
+  | Dropped of { src : int; dst : int; kind : msg_kind }
+      (** The head of the [src → dst] channel was discarded by the
+          fault plan instead of delivered. *)
+  | Duplicated of { src : int; dst : int; kind : msg_kind }
+      (** The head of the [src → dst] channel is about to be delivered
+          (a [Delivered] event follows) while a copy stays at the
+          head — the same message will be processed again later. *)
+  | Reordered of { src : int; dst : int }
+      (** The head of the [src → dst] channel was rotated behind the
+          rest of its FIFO. *)
+  | Corrupted of { node : int }
+      (** A scheduled transient fault mutated [node]'s true state
+          mid-run. *)
 
 type sink = event -> unit
 (** A sink on the protocol's event stream.  Same purity contract as
     {!Ss_sim.Engine.observer} (DESIGN.md §9): sinks observe, they must
     not mutate protocol state.  When no sink is registered the event
     loop allocates no events. *)
+
+type 's chaos = {
+  plan : Ss_chaos.Fault_plan.t;
+      (** Per-delivery drop/duplicate/reorder verdicts plus the
+          schedule of mid-run corruption events.  The plan owns a
+          private RNG stream, so attaching one never perturbs the
+          scheduler's own draws: a {!Ss_chaos.Fault_plan.null} plan
+          replays byte-identically to a run with no [chaos] at all. *)
+  mutate : Ss_prelude.Rng.t -> int -> 's Ss_core.Trans_state.t -> 's Ss_core.Trans_state.t;
+      (** [mutate rng v st] is the corrupted replacement for node [v]'s
+          state [st]; typically built from
+          {!Ss_core.Transformer.corrupt_state}.  Draws only from the
+          given (plan-owned) rng. *)
+}
+(** A fault-injection attachment for {!run}. *)
 
 type stats = {
   deliveries : int;  (** Total messages delivered. *)
@@ -81,6 +109,14 @@ type stats = {
   full_copy_messages : int;
   full_copy_bits : int;
   proof_waves : int;  (** Timer- and quiescence-triggered proof waves. *)
+  dropped_messages : int;
+      (** Messages discarded at delivery-pick time by the fault plan. *)
+  reordered_messages : int;
+      (** Channel heads rotated to the back instead of delivered. *)
+  duplicated_messages : int;
+      (** Messages delivered while a copy stayed at the channel head. *)
+  corruption_events : int;
+      (** Scheduled mid-run transient corruptions applied. *)
   quiescent : bool;  (** Reached verified quiescence within the budget.
                          Equivalent to [outcome = Completed]. *)
   outcome : Ss_report.Budget.outcome;
@@ -109,6 +145,8 @@ val run :
   ?max_events:int ->
   ?proof:Ss_energy.Energy.proof_cost ->
   ?heartbeat_every:int ->
+  ?now:(unit -> float) ->
+  ?chaos:'s chaos ->
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
   ?sinks:sink list ->
@@ -133,9 +171,25 @@ val run :
     the tightest provided limit wins; [budget.deliveries] caps events
     (each event delivers at most one message, so [stats.deliveries]
     never exceeds it), and [budget.deadline_s] is checked once per
-    event.  Defaults: [encoding = Delta], event cap [2_000_000],
+    event — against [now] when given (a virtual clock such as
+    {!Ss_chaos.Clock.now_fn} makes deadline budgets deterministic), the
+    monotonic machine clock otherwise — and re-checked on the
+    channels-drained exit path, so a run that drains past its time
+    budget reports [Tripped Deadline] rather than [Completed].
+    Defaults: [encoding = Delta], event cap [2_000_000],
     [proof = Energy.default_proof_cost] (64-bit hash + 64-bit nonce).
     Returns the final true states and the traffic/work accounting.
+
+    [chaos] attaches deterministic fault injection: each pending-link
+    pick consults the plan for a drop/duplicate/reorder verdict
+    (charged as one event either way and counted in the
+    [dropped_messages] / [duplicated_messages] / [reordered_messages]
+    stats), and scheduled corruption events mutate a random victim's
+    true state mid-run ([corruption_events]).  Any chaos action
+    invalidates the current proof wave's evidence, so verified
+    quiescence additionally requires one chaos-free wave window —
+    [Completed] still certifies a terminal configuration even under
+    faults.
 
     Each event costs O(1) amortized in the number of channels: pending
     links come from the maintained {!Chanset} rather than a full
@@ -147,6 +201,7 @@ val run_naive :
   ?max_events:int ->
   ?proof:Ss_energy.Energy.proof_cost ->
   ?heartbeat_every:int ->
+  ?now:(unit -> float) ->
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
   ?sinks:sink list ->
@@ -161,12 +216,15 @@ val run_naive :
     [Graph.port_of] scan.  The random link choice consumes the rng
     differently from {!run}, so the two produce different (equally
     valid) interleavings; both must reach the same terminal states.
-    Kept for differential testing and benchmarking. *)
+    Kept for differential testing and benchmarking.  Deliberately takes
+    no [chaos]: the naive loop is the fault-free reference twin that
+    chaos runs are differentially checked against. *)
 
 val report :
   ?label:string ->
   ?seed:int ->
   ?wall_s:float ->
+  ?timebase:Ss_report.Run_report.timebase ->
   stats ->
   Ss_report.Run_report.t
 (** The run's summary as a structured {!Ss_report.Run_report.t} (kind

@@ -31,12 +31,12 @@ let now_s =
     fun () -> Int64.to_float (Monotonic_clock.now ()) *. 1e-9
   else Unix.gettimeofday
 
-let deadline_check t =
+let deadline_check ?(now = now_s) t =
   match t.deadline_s with
   | None -> fun () -> false
   | Some allowance ->
-      let t0 = now_s () in
-      fun () -> now_s () -. t0 >= allowance
+      let t0 = now () in
+      fun () -> now () -. t0 >= allowance
 
 let limit_to_string = function
   | Steps -> "steps"

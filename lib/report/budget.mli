@@ -55,10 +55,16 @@ val now_s : unit -> float
     [bechamel.monotonic_clock], falling back to [Unix.gettimeofday]
     where unavailable).  Only differences are meaningful. *)
 
-val deadline_check : t -> unit -> bool
+val deadline_check : ?now:(unit -> float) -> t -> unit -> bool
 (** [deadline_check t] starts the clock now and returns a predicate
     that turns [true] once the deadline has passed.  Constant [false]
-    (and free of clock reads) when no deadline is set. *)
+    (and free of clock reads) when no deadline is set.
+
+    [now] injects the time source (default {!now_s}).  Deterministic
+    simulations pass a virtual clock ([Ss_chaos.Clock.now_fn]) so
+    deadline budgets depend only on simulated time — wall-clock jumps,
+    GC pauses and machine load can never trip a deadline mid-scenario,
+    and replays are exact. *)
 
 val limit_to_string : limit -> string
 val outcome_to_string : outcome -> string

@@ -19,21 +19,36 @@ type msgnet_stats = {
   full_copy_messages : int;
   full_copy_bits : int;
   proof_waves : int;
+  dropped_messages : int;
+  reordered_messages : int;
+  duplicated_messages : int;
+  corruption_events : int;
   total_bits : int;
 }
 
 type body = Engine of engine_stats | Sync of sync_stats | Msgnet of msgnet_stats
 
+type timebase = Wall | Virtual
+
+let timebase_to_string = function Wall -> "wall" | Virtual -> "virtual"
+
+let timebase_of_string = function
+  | "wall" -> Ok Wall
+  | "virtual" -> Ok Virtual
+  | s -> Error ("unknown timebase: " ^ s)
+
 type t = {
   label : string;
   seed : int option;
   wall_s : float;
+  timebase : timebase;
   outcome : Budget.outcome;
   body : body;
 }
 
-let v ?seed ?(wall_s = 0.) ?(outcome = Budget.Completed) label body =
-  { label; seed; wall_s; outcome; body }
+let v ?seed ?(wall_s = 0.) ?(timebase = Wall) ?(outcome = Budget.Completed)
+    label body =
+  { label; seed; wall_s; timebase; outcome; body }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                             *)
@@ -67,6 +82,10 @@ let json_of_msgnet (m : msgnet_stats) =
       ("full_copy_messages", Json.Int m.full_copy_messages);
       ("full_copy_bits", Json.Int m.full_copy_bits);
       ("proof_waves", Json.Int m.proof_waves);
+      ("dropped_messages", Json.Int m.dropped_messages);
+      ("reordered_messages", Json.Int m.reordered_messages);
+      ("duplicated_messages", Json.Int m.duplicated_messages);
+      ("corruption_events", Json.Int m.corruption_events);
       ("total_bits", Json.Int m.total_bits);
     ]
 
@@ -82,6 +101,7 @@ let to_json t =
       ("label", Json.String t.label);
       ("seed", match t.seed with Some s -> Json.Int s | None -> Json.Null);
       ("wall_s", Json.Float t.wall_s);
+      ("timebase", Json.String (timebase_to_string t.timebase));
       ("outcome", Json.String (Budget.outcome_to_string t.outcome));
       ("kind", Json.String kind);
       ("stats", stats);
@@ -142,6 +162,18 @@ let msgnet_of_json json =
   let* full_copy_messages = int_field "full_copy_messages" json in
   let* full_copy_bits = int_field "full_copy_bits" json in
   let* proof_waves = int_field "proof_waves" json in
+  (* The chaos counters appeared after the first archived reports;
+     absent fields read as zero so pre-chaos artifacts stay parseable
+     (to_json always emits them, so round-trips are still exact). *)
+  let opt_int_field name json =
+    match Json.member name json with
+    | None -> Ok 0
+    | Some v -> Json.to_int v
+  in
+  let* dropped_messages = opt_int_field "dropped_messages" json in
+  let* reordered_messages = opt_int_field "reordered_messages" json in
+  let* duplicated_messages = opt_int_field "duplicated_messages" json in
+  let* corruption_events = opt_int_field "corruption_events" json in
   let* total_bits = int_field "total_bits" json in
   Ok
     (Msgnet
@@ -157,6 +189,10 @@ let msgnet_of_json json =
          full_copy_messages;
          full_copy_bits;
          proof_waves;
+         dropped_messages;
+         reordered_messages;
+         duplicated_messages;
+         corruption_events;
          total_bits;
        })
 
@@ -176,6 +212,15 @@ let of_json json =
     | Json.Int i -> Ok (float_of_int i)
     | _ -> Error "wall_s must be a number"
   in
+  let* timebase =
+    (* Absent in pre-chaos archives: those reports all measured wall
+       time. *)
+    match Json.member "timebase" json with
+    | None -> Ok Wall
+    | Some v ->
+        let* s = Json.to_str v in
+        timebase_of_string s
+  in
   let* outcome =
     let* s = str_field "outcome" json in
     Budget.outcome_of_string s
@@ -189,7 +234,7 @@ let of_json json =
     | "msgnet" -> msgnet_of_json stats
     | k -> Error ("unknown report kind: " ^ k)
   in
-  Ok { label; seed; wall_s; outcome; body }
+  Ok { label; seed; wall_s; timebase; outcome; body }
 
 (* ------------------------------------------------------------------ *)
 (* Table serializer                                                     *)

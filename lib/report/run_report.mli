@@ -37,6 +37,14 @@ type msgnet_stats = {
   full_copy_messages : int;
   full_copy_bits : int;
   proof_waves : int;
+  dropped_messages : int;
+      (** Messages discarded at delivery-pick time by the fault plan. *)
+  reordered_messages : int;
+      (** Channel heads rotated to the back instead of delivered. *)
+  duplicated_messages : int;
+      (** Messages delivered while a copy stayed queued. *)
+  corruption_events : int;
+      (** Mid-run transient state corruptions injected. *)
   total_bits : int;
 }
 
@@ -45,18 +53,40 @@ type body =
   | Sync of sync_stats
   | Msgnet of msgnet_stats
 
+type timebase =
+  | Wall  (** [wall_s] was measured on the machine clock. *)
+  | Virtual
+      (** [wall_s] is simulated time from an injected virtual clock
+          ({!Ss_chaos.Clock}) — deterministic, replayable, and not
+          comparable to wall-clock figures. *)
+
+val timebase_to_string : timebase -> string
+(** ["wall"] / ["virtual"] — the wire encoding. *)
+
+val timebase_of_string : string -> (timebase, string) result
+
 type t = {
   label : string;  (** What ran (algorithm / workload / bench name). *)
   seed : int option;  (** RNG seed, when the run was seeded. *)
-  wall_s : float;  (** Wall-clock duration of the run, seconds. *)
+  wall_s : float;  (** Duration of the run in seconds — on the
+          [timebase] clock, which says whether this is measured wall
+          time or deterministic virtual time. *)
+  timebase : timebase;
   outcome : Budget.outcome;
       (** [Completed], or the budget limit that tripped. *)
   body : body;
 }
 
 val v :
-  ?seed:int -> ?wall_s:float -> ?outcome:Budget.outcome -> string -> body -> t
-(** [v label body] with defaults [wall_s = 0.], [outcome = Completed]. *)
+  ?seed:int ->
+  ?wall_s:float ->
+  ?timebase:timebase ->
+  ?outcome:Budget.outcome ->
+  string ->
+  body ->
+  t
+(** [v label body] with defaults [wall_s = 0.], [timebase = Wall],
+    [outcome = Completed]. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

@@ -18,6 +18,11 @@ type ('s, 'i) stats = {
 type ('s, 'i) observer =
   step:int -> rounds:int -> moved:(int * string) list -> ('s, 'i) Config.t -> unit
 
+type ('s, 'i) chaos = {
+  plan : Ss_chaos.Fault_plan.t;
+  mutate : Ss_prelude.Rng.t -> int -> ('s, 'i) Config.t -> 's;
+}
+
 let no_observer ~step:_ ~rounds:_ ~moved:_ _ = ()
 
 let tee = function
@@ -103,11 +108,11 @@ let cap_selection ~budget selected =
 
 (* The three integer/clock limits of one run, resolved from the unified
    budget plus the historical optional arguments (tightest wins). *)
-let limits ?budget ?max_steps ?max_moves () =
+let limits ?budget ?max_steps ?max_moves ?now () =
   let b = Option.value budget ~default:Budget.unlimited in
   ( Budget.resolve ~default:10_000_000 max_steps b.Budget.steps,
     Budget.resolve ~default:max_int max_moves b.Budget.moves,
-    Budget.deadline_check b )
+    Budget.deadline_check ?now b )
 
 (* Shared per-run accounting: per-node and per-rule move counters and
    the final stats record. *)
@@ -136,9 +141,11 @@ let make_counters n =
   in
   (note_move, finish)
 
-let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
-    ?observer ?sinks algo daemon config =
-  let max_steps, max_moves, deadline = limits ?budget ?max_steps ?max_moves () in
+let run ?budget ?max_steps ?max_moves ?now ?chaos ?(self_check = false)
+    ?(sharded = false) ?observer ?sinks algo daemon config =
+  let max_steps, max_moves, deadline =
+    limits ?budget ?max_steps ?max_moves ?now ()
+  in
   let note_move, finish = make_counters (Config.n config) in
   let sched = Sched.create ~parallel:sharded algo config in
   (* Divergence checking is just another sink on the bus: it reads the
@@ -192,6 +199,32 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
     end
   in
   let rec loop config steps moves tracker =
+    (* Scheduled transient corruption, injected before the termination
+       check so a fault landing on a quiescent configuration re-starts
+       stabilization.  The scheduler is re-synced exactly as for a
+       moved node; the next step's bus event (and self-check) sees the
+       corrupted configuration. *)
+    let config =
+      match chaos with
+      | Some ch when Ss_chaos.Fault_plan.corruption_due ch.plan ~event:steps ->
+          let crng = Ss_chaos.Fault_plan.rng ch.plan in
+          let v = Ss_prelude.Rng.int crng (Config.n config) in
+          let st = ch.mutate crng v config in
+          let config =
+            if observed then begin
+              let states = Array.copy config.Config.states in
+              states.(v) <- st;
+              Config.with_states config states
+            end
+            else begin
+              config.Config.states.(v) <- st;
+              config
+            end
+          in
+          Sched.update sched config ~moved:[ v ];
+          config
+      | _ -> config
+    in
     if Sched.no_enabled sched then (config, steps, moves, Budget.Completed)
     else if moves >= max_moves then
       (config, steps, moves, Budget.Tripped Budget.Moves)
@@ -217,9 +250,11 @@ let run ?budget ?max_steps ?max_moves ?(self_check = false) ?(sharded = false)
   emit ~step:0 ~rounds:0 ~moved:[] config;
   finish algo tracker (loop config 0 0 tracker)
 
-let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks algo daemon config
-    =
-  let max_steps, max_moves, deadline = limits ?budget ?max_steps ?max_moves () in
+let run_naive ?budget ?max_steps ?max_moves ?now ?observer ?sinks algo daemon
+    config =
+  let max_steps, max_moves, deadline =
+    limits ?budget ?max_steps ?max_moves ?now ()
+  in
   let note_move, finish = make_counters (Config.n config) in
   let emit = bus ?observer ?sinks [] in
   let rec loop config steps moves tracker =
@@ -255,8 +290,8 @@ let run_naive ?budget ?max_steps ?max_moves ?observer ?sinks algo daemon config
 let run_synchronous ?budget ?max_steps ?max_moves algo config =
   run ?budget ?max_steps ?max_moves algo Daemon.synchronous config
 
-let report ?(label = "engine-run") ?seed ?wall_s stats =
-  Run_report.v ?seed ?wall_s ~outcome:stats.outcome label
+let report ?(label = "engine-run") ?seed ?wall_s ?timebase stats =
+  Run_report.v ?seed ?wall_s ?timebase ~outcome:stats.outcome label
     (Run_report.Engine
        {
          Run_report.steps = stats.steps;

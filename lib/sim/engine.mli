@@ -49,10 +49,26 @@ type ('s, 'i) observer =
 val tee : ('s, 'i) observer list -> ('s, 'i) observer
 (** Fan one event stream out to several sinks, in list order. *)
 
+type ('s, 'i) chaos = {
+  plan : Ss_chaos.Fault_plan.t;
+      (** Only the plan's corruption schedule applies to the engine
+          (there are no channels to drop from); [corrupt_at] indices
+          are {e step} indices here.  The plan owns a private RNG
+          stream, so attaching one never perturbs the daemon's or the
+          algorithm's draws. *)
+  mutate : Ss_prelude.Rng.t -> int -> ('s, 'i) Config.t -> 's;
+      (** [mutate rng v config] is the corrupted replacement for node
+          [v]'s state; draws only from the given (plan-owned) rng. *)
+}
+(** Mid-run transient-fault injection for {!run} — the dynamic
+    counterpart of {!Fault.corrupt}, which only hits t = 0. *)
+
 val run :
   ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
+  ?now:(unit -> float) ->
+  ?chaos:('s, 'i) chaos ->
   ?self_check:bool ->
   ?sharded:bool ->
   ?observer:('s, 'i) observer ->
@@ -83,7 +99,17 @@ val run :
     [max_steps]/[max_moves] arguments compose — the tightest provided
     limit wins ({!Ss_report.Budget.resolve}); when neither constrains
     a dimension, [steps] defaults to [10_000_000] and [moves] is
-    unlimited.  [budget.deadline_s] is checked between steps.
+    unlimited.  [budget.deadline_s] is checked between steps — against
+    [now] when given (e.g. {!Ss_chaos.Clock.now_fn} for deterministic
+    deadlines), the monotonic machine clock otherwise.
+
+    [chaos] injects scheduled mid-run corruption: before the step at
+    each due index (and before the termination check, so a fault on a
+    quiescent configuration re-starts stabilization) a uniformly drawn
+    victim's state is replaced via [mutate], and the dirty-set
+    scheduler is re-synced exactly as for a moved node.  The injection
+    draws only from the plan's private RNG stream, so a run with no
+    due corruption is byte-identical to one with no [chaos] at all.
 
     The move limit is a {e hard} bound: [stats.moves <= max_moves]
     always.  A step whose selection would cross the remaining budget
@@ -115,6 +141,7 @@ val run_naive :
   ?budget:Ss_report.Budget.t ->
   ?max_steps:int ->
   ?max_moves:int ->
+  ?now:(unit -> float) ->
   ?observer:('s, 'i) observer ->
   ?sinks:('s, 'i) observer list ->
   ('s, 'i) Algorithm.t ->
@@ -126,7 +153,8 @@ val run_naive :
     compatibility baseline for differential testing and benchmarking;
     produces exactly the same execution as {!run}, including the hard
     move-cap prefix-truncation semantics and the unified budget
-    handling. *)
+    handling.  Deliberately takes no [chaos]: the naive loop is the
+    fault-free reference twin chaos runs are checked against. *)
 
 val step :
   ('s, 'i) Algorithm.t ->
@@ -153,6 +181,7 @@ val report :
   ?label:string ->
   ?seed:int ->
   ?wall_s:float ->
+  ?timebase:Ss_report.Run_report.timebase ->
   ('s, 'i) stats ->
   Ss_report.Run_report.t
 (** The engine's statistics as a structured {!Ss_report.Run_report.t}

@@ -21,8 +21,17 @@ val corrupt :
   ('s, 'i) Config.t
 (** [corrupt rng ~p mutator config] applies [mutator] to each node's
     state independently with probability [p] (default [1.0], i.e. a
-    fully arbitrary configuration). *)
+    fully arbitrary configuration).
+
+    @raise Invalid_argument if [p] is outside [[0, 1]] (including NaN) —
+    out-of-range probabilities would silently defer to [Rng.chance]'s
+    clamping and make the scenario lie about its fault rate. *)
 
 val corrupt_nodes :
   Ss_prelude.Rng.t -> 's mutator -> int list -> ('s, 'i) Config.t -> ('s, 'i) Config.t
-(** Corrupt exactly the listed nodes. *)
+(** Corrupt exactly the listed nodes.  The list is deduplicated and
+    processed in ascending node order, so the RNG draw sequence depends
+    only on the {e set} of nodes — a repeated or re-ordered list can
+    never shift later draws and break scenario replay.
+
+    @raise Invalid_argument on a node id outside [[0, n)]. *)

@@ -190,7 +190,33 @@ let reports =
            full_copy_messages = 1;
            full_copy_bits = 64;
            proof_waves = 2;
+           dropped_messages = 0;
+           reordered_messages = 0;
+           duplicated_messages = 0;
+           corruption_events = 0;
            total_bits = 2600;
+         });
+    (* A chaos-mode report: non-zero fault counters and virtual time. *)
+    Run_report.v ~seed:7 ~wall_s:0.031 ~timebase:Run_report.Virtual
+      "msgnet-chaos"
+      (Run_report.Msgnet
+         {
+           Run_report.deliveries = 3100;
+           rule_executions = 140;
+           update_messages = 620;
+           update_bits = 9800;
+           proof_messages = 256;
+           proof_bits = 32768;
+           stale_proof_messages = 31;
+           request_messages = 9;
+           full_copy_messages = 9;
+           full_copy_bits = 1152;
+           proof_waves = 8;
+           dropped_messages = 64;
+           reordered_messages = 33;
+           duplicated_messages = 29;
+           corruption_events = 3;
+           total_bits = 44000;
          });
   ]
 
@@ -426,6 +452,7 @@ let test_msgnet_sinks () =
         bits := !bits + b
     | M.Delivered _ -> incr delivered
     | M.Wave _ -> incr waves
+    | M.Dropped _ | M.Duplicated _ | M.Reordered _ | M.Corrupted _ -> ()
   in
   let _, stats = M.run ~rng:(Rng.create 13) ~sinks:[ sink ] params start in
   check "quiescent" true stats.M.quiescent;
