@@ -548,7 +548,16 @@ let micro_benchmarks () =
   in
   if not sim_ok then
     failwith "sim grid: a scenario cell failed to re-stabilize";
-  emit_json "BENCH_sim.json" "chaos-mode scenario grid" sim_table
+  emit_json "BENCH_sim.json" "chaos-mode scenario grid" sim_table;
+  (* The three-way transformer comparison rides along too: every
+     registered transformer × LCL workload × graph family, same
+     determinism contract, so the artefact is byte-stable as well. *)
+  let tf_table, tf_ok =
+    Ss_expt.Transformers_expt.rows ~seeds:[ 1 ] (Ss_prelude.Rng.create 42)
+  in
+  if not tf_ok then
+    failwith "transformers grid: an illegitimate terminal configuration";
+  emit_json "BENCH_transformers.json" "transformer comparison grid" tf_table
 
 let () =
   let t0 = Unix.gettimeofday () in

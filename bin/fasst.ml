@@ -20,43 +20,9 @@ open Cmdliner
 (* Shared argument parsing                                              *)
 (* ------------------------------------------------------------------ *)
 
-let parse_topology rng spec =
-  match String.split_on_char ':' spec with
-  | [ "path"; n ] -> G.Builders.path (int_of_string n)
-  | [ "ring"; n ] | [ "cycle"; n ] -> G.Builders.cycle (int_of_string n)
-  | [ "star"; n ] -> G.Builders.star (int_of_string n)
-  | [ "tree"; n ] -> G.Builders.binary_tree (int_of_string n)
-  | [ "complete"; n ] -> G.Builders.complete (int_of_string n)
-  | [ "hypercube"; d ] -> G.Builders.hypercube (int_of_string d)
-  | [ "grid"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ r; c ] -> G.Builders.grid ~rows:(int_of_string r) ~cols:(int_of_string c)
-      | _ -> failwith "grid expects grid:RxC")
-  | [ "torus"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ r; c ] -> G.Builders.torus ~rows:(int_of_string r) ~cols:(int_of_string c)
-      | _ -> failwith "torus expects torus:RxC")
-  | [ "random"; n ] ->
-      let n = int_of_string n in
-      G.Builders.random_connected rng ~n ~extra_edges:(n / 2)
-  | [ "random4"; n ] -> G.Builders.random4 rng (int_of_string n)
-  | [ "lollipop"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ c; t ] ->
-          G.Builders.lollipop ~clique:(int_of_string c) ~tail:(int_of_string t)
-      | _ -> failwith "lollipop expects lollipop:CLIQUExTAIL")
-  | [ "wheel"; n ] -> G.Builders.wheel (int_of_string n)
-  | [ "bipartite"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ a; b ] -> G.Builders.complete_bipartite (int_of_string a) (int_of_string b)
-      | _ -> failwith "bipartite expects bipartite:AxB")
-  | [ "caterpillar"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ s; l ] ->
-          G.Builders.caterpillar ~spine:(int_of_string s) ~legs:(int_of_string l)
-      | _ -> failwith "caterpillar expects caterpillar:SPINExLEGS")
-  | [ "gk"; k ] -> G.Gk.make (int_of_string k)
-  | _ -> failwith ("unknown topology: " ^ spec)
+module Catalog = Ss_expt.Catalog
+
+let parse_topology = Catalog.parse_topology
 
 let parse_daemon rng spec =
   match String.split_on_char ':' spec with
@@ -71,10 +37,10 @@ let parse_daemon rng spec =
 
 let topology_arg =
   let doc =
-    "Topology: path:N, ring:N, star:N, tree:N, complete:N, hypercube:D, \
-     grid:RxC, torus:RxC, random:N, random4:N, lollipop:CxT, wheel:N, \
-     bipartite:AxB, caterpillar:SxL, gk:K.  torus and random4 stream their \
-     edges and scale to millions of nodes."
+    "Topology: "
+    ^ String.concat ", " (Catalog.topology_syntax ())
+    ^ ".  torus and random4 stream their edges and scale to millions of \
+       nodes.  See $(b,fasst list)."
   in
   Arg.(value & opt string "ring:16" & info [ "t"; "topology" ] ~doc)
 
@@ -201,8 +167,40 @@ let print_report name (r : _ Stabilization.report) =
     r.Stabilization.moves_per_rule;
   Printf.printf "legitimate     : %b\n" r.Stabilization.legitimate
 
-let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p ~layout
-    ~deadline ~jobs =
+(* Both renderings read the same typed Table.t: the text goes through
+   Table.print, the JSON through Run_report.of_table — content-identical
+   by construction (pinned by the test suite). *)
+let section ~json title table =
+  if json then
+    print_endline (Json.to_string (Run_report.of_table ~label:title table))
+  else begin
+    Printf.printf "== %s ==\n" title;
+    Table.print table
+  end
+
+(* Non-trans transformers run through the registry's generic
+   [measure]; the report is a metric/value table through [section], so
+   --json stays content-identical to the text. *)
+let run_outcome ~json name (o : Core.Registry.outcome) =
+  let table = Table.create [ "metric"; "value" ] in
+  let s k v = Table.add table [ Table.S k; Table.S v ] in
+  let i k v = Table.add table [ Table.S k; Table.I v ] in
+  s "transformer" o.Core.Registry.transformer;
+  s "terminated" (string_of_bool o.Core.Registry.terminated);
+  i "moves" o.Core.Registry.moves;
+  i "rounds" o.Core.Registry.rounds;
+  i "steps" o.Core.Registry.steps;
+  i "energy-bits" o.Core.Registry.energy_bits;
+  i "space-bits" o.Core.Registry.space_bits;
+  List.iter
+    (fun (rule, n) -> i (rule ^ " moves") n)
+    o.Core.Registry.moves_per_rule;
+  s "legitimate" (string_of_bool o.Core.Registry.legitimate);
+  s "specification" (string_of_bool o.Core.Registry.spec_ok);
+  section ~json name table
+
+let run_algo ~json ~transformer ~algo_name ~topology ~daemon ~seed ~mode ~bound
+    ~p ~layout ~deadline ~jobs =
   let rng = Rng.create seed in
   let graph = parse_topology rng topology in
   let bound = parse_bound bound in
@@ -210,7 +208,24 @@ let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p ~layout
   let go (type s i) ?(codec : s Core.Cellpack.codec option)
       (sync : (s, i) Ss_sync.Sync_algo.t) (inputs : int -> i)
       (spec : s array -> bool) =
-    let params = Core.Transformer.params ~mode ~bound sync in
+    let params = Core.Registry.Trans.params ~mode ~bound sync in
+    if transformer <> "trans" then begin
+      (* The rollback and adaptive transformers have no
+         Stabilization-style recovery phases; the registry's measure
+         covers them uniformly. *)
+      let entry = Catalog.find_transformer transformer in
+      let budget =
+        Option.map (fun s -> Ss_report.Budget.v ~deadline_s:s ()) deadline
+      in
+      let outcome =
+        Core.Registry.measure entry ?budget ~corrupt:(`All p)
+          ~rng:(Rng.split rng) ~daemon
+          ~max_height:(min (P.bound_to_int bound) 1_000_000)
+          ~spec params graph ~inputs
+      in
+      run_outcome ~json sync.Ss_sync.Sync_algo.sync_name outcome
+    end
+    else begin
     let sc = { Stabilization.params; graph; inputs } in
     (* The corruption ceiling tracks the synchronous execution time.
        Under a finite bound the ground truth is cut at B rounds — the
@@ -254,52 +269,14 @@ let run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p ~layout
       print_report name report;
       Printf.printf "specification  : %b\n" (spec report.Stabilization.outputs)
     end
+    end
   in
-  (match algo_name with
-  | "leader" ->
-      let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
-      go ~codec:Ss_algos.Leader_election.codec Ss_algos.Leader_election.algo
-        inputs (fun final ->
-          Ss_algos.Leader_election.spec_holds graph ~inputs ~final)
-  | "minflood" ->
-      let inputs p = (p * 31) mod 17 in
-      go ~codec:Ss_algos.Min_flood.codec Ss_algos.Min_flood.algo inputs
-        (fun final -> Ss_algos.Min_flood.spec_holds graph ~inputs ~final)
-  | "bfs" ->
-      let inputs = Ss_algos.Bfs_tree.inputs graph ~root:0 in
-      go ~codec:Ss_algos.Bfs_tree.codec Ss_algos.Bfs_tree.algo inputs
-        (fun final -> Ss_algos.Bfs_tree.spec_holds graph ~root:0 ~final)
-  | "sp" ->
-      let weight =
-        Ss_algos.Shortest_path.random_weights (Rng.split rng) graph ~max_weight:8
-      in
-      let inputs = Ss_algos.Shortest_path.inputs graph ~weight ~root:0 in
-      go Ss_algos.Shortest_path.algo inputs (fun final ->
-          Ss_algos.Shortest_path.spec_holds graph ~weight ~root:0 ~final)
-  | "leaderbfs" ->
-      let ids = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
-      let inputs = Ss_algos.Leader_bfs.inputs ~ids graph in
-      go Ss_algos.Leader_bfs.algo inputs (fun final ->
-          Ss_algos.Leader_bfs.spec_holds graph ~inputs ~final)
-  | "coloring" ->
-      let n = G.Graph.n graph in
-      let width = max 8 (Ss_prelude.Util.bit_width n) in
-      let ids =
-        Ss_algos.Cole_vishkin.random_ring_ids (Rng.split rng) ~n ~width
-      in
-      let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width graph in
-      go Ss_algos.Cole_vishkin.algo inputs (fun final ->
-          Ss_algos.Cole_vishkin.spec_holds graph ~final)
-  | "mis" ->
-      let n = G.Graph.n graph in
-      let width = max 8 (Ss_prelude.Util.bit_width n) in
-      let ids =
-        Ss_algos.Cole_vishkin.random_ring_ids (Rng.split rng) ~n ~width
-      in
-      let inputs = Ss_algos.Ring_mis.inputs ~ids ~width graph in
-      go Ss_algos.Ring_mis.algo inputs (fun final ->
-          Ss_algos.Ring_mis.spec_holds graph ~final)
-  | other -> failwith ("unknown algorithm: " ^ other));
+  let a = Catalog.find_algo algo_name in
+  (match Catalog.validate_topology a graph with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match a.Catalog.instantiate (Rng.split rng) graph with
+  | Catalog.Inst { sync; inputs; spec; codec } -> go ?codec sync inputs spec);
   0
 
 let run_cmd =
@@ -307,18 +284,31 @@ let run_cmd =
     Arg.(
       value & opt string "leader"
       & info [ "a"; "algorithm" ]
-          ~doc:"Algorithm: leader, minflood, bfs, sp, leaderbfs, coloring, mis.")
+          ~doc:
+            ("Algorithm: "
+            ^ String.concat ", " (Catalog.algo_names ())
+            ^ ".  See $(b,fasst list)."))
+  in
+  let transformer =
+    Arg.(
+      value & opt string "trans"
+      & info [ "T"; "transformer" ]
+          ~doc:
+            ("Transformer: "
+            ^ String.concat ", " (Catalog.transformer_names ())
+            ^ ".  See $(b,fasst list)."))
   in
   let term =
     Term.(
       const
-        (fun jobs json algo_name topology daemon seed mode bound p layout
-             deadline ->
+        (fun jobs json transformer algo_name topology daemon seed mode bound p
+             layout deadline ->
           Ss_par.Par.set_jobs jobs;
-          run_algo ~json ~algo_name ~topology ~daemon ~seed ~mode ~bound ~p
-            ~layout ~deadline ~jobs)
-      $ jobs_arg $ json_arg $ algo $ topology_arg $ daemon_arg $ seed_arg
-      $ mode_arg $ bound_arg $ corrupt_arg $ layout_arg $ deadline_arg)
+          run_algo ~json ~transformer ~algo_name ~topology ~daemon ~seed ~mode
+            ~bound ~p ~layout ~deadline ~jobs)
+      $ jobs_arg $ json_arg $ transformer $ algo $ topology_arg $ daemon_arg
+      $ seed_arg $ mode_arg $ bound_arg $ corrupt_arg $ layout_arg
+      $ deadline_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -332,17 +322,6 @@ let run_cmd =
 (* ------------------------------------------------------------------ *)
 
 let seeds_list k = List.init k (fun i -> i + 1)
-
-(* Both renderings read the same typed Table.t: the text goes through
-   Table.print, the JSON through Run_report.of_table — content-identical
-   by construction (pinned by the test suite). *)
-let section ~json title table =
-  if json then
-    print_endline (Json.to_string (Run_report.of_table ~label:title table))
-  else begin
-    Printf.printf "== %s ==\n" title;
-    Table.print table
-  end
 
 let table1_run jobs json which seed seeds =
   Ss_par.Par.set_jobs jobs;
@@ -473,6 +452,71 @@ let baselines_cmd =
     Term.(const baselines_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
+(* transformers: the three-way comparison grid                          *)
+(* ------------------------------------------------------------------ *)
+
+let transformers_run jobs json seed seeds =
+  Ss_par.Par.set_jobs jobs;
+  let table, ok =
+    Ss_expt.Transformers_expt.rows ~seeds:(seeds_list seeds) (Rng.create seed)
+  in
+  section ~json "transformer comparison: trans | rollback | adaptive" table;
+  (* Any illegitimate terminal configuration is a non-zero exit, so
+     the @transformers-smoke alias can gate on it. *)
+  if ok then 0 else 1
+
+let transformers_cmd =
+  Cmd.v
+    (Cmd.info "transformers"
+       ~doc:
+         "Run every registered transformer (§3 trans, §7 rollback, fully \
+          adaptive) over the LCL workload suite (leader, BFS, Cole-Vishkin, \
+          MIS, matching, coloring) on ring/torus/random4 graphs and compare \
+          moves, rounds and energy bits.  Byte-identical for any $(b,-j); \
+          exits non-zero if any cell ends illegitimate.")
+    Term.(const transformers_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list: what the registry and the catalog know                         *)
+(* ------------------------------------------------------------------ *)
+
+let list_run json =
+  let ts = Table.create [ "transformer"; "description" ] in
+  List.iter
+    (fun e ->
+      Table.add ts
+        [ Table.S (Core.Registry.name e); Table.S (Core.Registry.doc e) ])
+    (Catalog.transformers ());
+  section ~json "transformers" ts;
+  let al = Table.create [ "algorithm"; "graphs"; "sim-grid"; "description" ] in
+  List.iter
+    (fun a ->
+      Table.add al
+        [
+          Table.S a.Catalog.algo_name;
+          Table.S (if a.Catalog.ring_only then "rings only" else "any");
+          Table.S (if a.Catalog.in_sim_grid then "yes" else "no");
+          Table.S a.Catalog.algo_doc;
+        ])
+    Catalog.algorithms;
+  section ~json "algorithms" al;
+  let tp = Table.create [ "topology" ] in
+  List.iter
+    (fun syntax -> Table.add tp [ Table.S syntax ])
+    (Catalog.topology_syntax ());
+  section ~json "topologies" tp;
+  0
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the registered transformers, workload algorithms and topology \
+          families — the same tables every other subcommand parses its \
+          arguments against.")
+    Term.(const list_run $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* sim: deterministic chaos-mode scenario grids                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -529,7 +573,10 @@ let sim_cmd =
     Arg.(
       value & opt string "all"
       & info [ "a"; "algorithm" ]
-          ~doc:"Algorithm: leader, bfs, coloring, or all.")
+          ~doc:
+            ("Algorithm: "
+            ^ String.concat ", " Ss_expt.Sim_expt.algo_names
+            ^ ", or all."))
   in
   let topology =
     Arg.(
@@ -573,14 +620,14 @@ let trace_run json topology daemon seed out =
   let graph = parse_topology rng topology in
   let daemon = parse_daemon (Rng.split rng) daemon in
   let inputs = Ss_algos.Leader_election.random_ids (Rng.split rng) graph in
-  let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+  let params = Core.Registry.Trans.params Ss_algos.Leader_election.algo in
   let sc = { Stabilization.params; graph; inputs } in
   let t = (Stabilization.history sc).Ss_sync.Sync_runner.t in
   let start =
     Stabilization.corrupted_start (Rng.split rng) ~max_height:(t + 4) sc
   in
   let observer, events = Ss_sim.Trace.make () in
-  let stats = Core.Transformer.run ~observer params daemon start in
+  let stats = Core.Registry.Trans.run ~observer params daemon start in
   let payload =
     if json then Json.to_string (Ss_sim.Trace.to_json (events ())) ^ "\n"
     else Ss_sim.Trace.to_csv (events ())
@@ -664,6 +711,10 @@ let main =
        ~doc:
          "Fully Asynchronous Self-Stabilization Toolkit — reproduction of \
           Devismes, Ilcinkas, Johnen & Mazoit (PODC 2024).")
-    [ run_cmd; table1_cmd; instances_cmd; rollback_cmd; energy_cmd; ablation_cmd; msgnet_cmd; baselines_cmd; sim_cmd; trace_cmd; dot_cmd; all_cmd ]
+    [
+      run_cmd; list_cmd; table1_cmd; instances_cmd; rollback_cmd; energy_cmd;
+      ablation_cmd; msgnet_cmd; baselines_cmd; transformers_cmd; sim_cmd;
+      trace_cmd; dot_cmd; all_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,64 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module Cellpack = Ss_core.Cellpack
+
+(* [color = -1] means uncolored. *)
+type state = { id : int; color : int }
+type input = int
+
+let uncolored = -1
+let equal a b = a.id = b.id && a.color = b.color
+
+(* Greedy (Δ+1)-coloring.  An uncolored node that is the local
+   identifier maximum among uncolored neighbors takes the smallest
+   color unused in its neighborhood.  Adjacent nodes never pick in the
+   same round (strict local maximum, unique ids), colored nodes are
+   frozen, and each round the globally largest uncolored node picks —
+   so T <= n + 1, and the mex over at most [deg] neighbor colors
+   stays within [Δ + 1] colors. *)
+let step id self neighbors =
+  if self.color <> uncolored then { self with id }
+  else if
+    Array.for_all
+      (fun nb -> nb.color <> uncolored || nb.id < id)
+      neighbors
+  then begin
+    let deg = Array.length neighbors in
+    let used = Array.make (deg + 1) false in
+    Array.iter
+      (fun nb -> if nb.color >= 0 && nb.color <= deg then used.(nb.color) <- true)
+      neighbors;
+    let rec mex c = if used.(c) then mex (c + 1) else c in
+    { id; color = mex 0 }
+  end
+  else { id; color = uncolored }
+
+let algo =
+  {
+    Sync_algo.sync_name = "coloring";
+    equal;
+    init = (fun id -> { id; color = uncolored });
+    step;
+    random_state =
+      (fun rng _ ->
+        { id = Rng.int rng 65536; color = Rng.int rng 16 - 1 });
+    state_bits =
+      (fun s -> 2 + Util.bit_width (abs s.id) + Util.bit_width (abs s.color));
+    pp_state =
+      (fun ppf s ->
+        if s.color = uncolored then Format.fprintf ppf "%d:?" s.id
+        else Format.fprintf ppf "%d:%d" s.id s.color);
+  }
+
+let codec =
+  Cellpack.map
+    ~inj:(fun s -> (s.id, s.color))
+    ~prj:(fun (id, color) -> { id; color })
+    (Cellpack.pair Cellpack.int_codec Cellpack.int_codec)
+
+let spec_holds g ~inputs:_ ~final =
+  Ss_core.Checker.coloring_legitimate g
+    ~max_colors:(Graph.max_degree g + 1)
+    ~color:(fun p -> final.(p).color)

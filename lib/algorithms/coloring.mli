@@ -1,0 +1,29 @@
+(** Greedy (Δ+1)-coloring on general graphs — an LCL workload for the
+    transformer comparison (distinct from {!Cole_vishkin}, the
+    ring-only 3-coloring).
+
+    Nodes have unique identifiers.  An uncolored node that is the
+    identifier maximum among its uncolored neighbors takes the
+    smallest color unused in its neighborhood ([mex], at most its
+    degree).  Adjacent nodes never pick simultaneously, colored nodes
+    are frozen, and each round the globally largest uncolored node
+    picks — so the fixpoint, a proper coloring with at most [Δ + 1]
+    colors, is reached in at most [n + 1] rounds. *)
+
+type state = { id : int; color : int }
+
+type input = int
+(** The node's unique identifier. *)
+
+val uncolored : int
+(** [-1]. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+
+val codec : state Ss_core.Cellpack.codec
+(** Two-word packed layout. *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Proper coloring with every color in [[0, Δ]]
+    ({!Ss_core.Checker.coloring_legitimate}). *)

@@ -1,0 +1,85 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module Cellpack = Ss_core.Cellpack
+
+(* [prop] is the identifier of the neighbor this node proposes to,
+   [mate] the identifier it is matched with; [-1] means none. *)
+type state = { id : int; prop : int; mate : int }
+type input = int
+
+let none = -1
+let equal a b = a.id = b.id && a.prop = b.prop && a.mate = b.mate
+
+(* Propose-to-minimum maximal matching.  Unmatched nodes propose to
+   their minimum-id unmatched neighbor; a mutual proposal becomes a
+   match (both sides see it in the same round, so mates are always
+   symmetric); matched nodes never change again.  Progress: the
+   globally minimum-id unmatched node [u] with an unmatched neighbor
+   is proposed to by its own proposal target (any unmatched neighbor
+   of that target has id >= u, and u is one), so a pair matches every
+   couple of rounds and T = O(n). *)
+let step id self neighbors =
+  if self.mate <> none then { self with id }
+  else
+    let mutual =
+      self.prop <> none
+      && Array.exists
+           (fun nb -> nb.mate = none && nb.id = self.prop && nb.prop = id)
+           neighbors
+    in
+    if mutual then { id; prop = self.prop; mate = self.prop }
+    else
+      let prop =
+        Array.fold_left
+          (fun acc nb ->
+            if nb.mate = none && (acc = none || nb.id < acc) then nb.id
+            else acc)
+          none neighbors
+      in
+      { id; prop; mate = none }
+
+let algo =
+  {
+    Sync_algo.sync_name = "matching";
+    equal;
+    init = (fun id -> { id; prop = none; mate = none });
+    step;
+    random_state =
+      (fun rng _ ->
+        {
+          id = Rng.int rng 65536;
+          prop = Rng.int rng 65536 - 1;
+          mate = Rng.int rng 65536 - 1;
+        });
+    state_bits =
+      (fun s ->
+        3 + Util.bit_width (abs s.id)
+        + Util.bit_width (abs s.prop)
+        + Util.bit_width (abs s.mate));
+    pp_state =
+      (fun ppf s ->
+        if s.mate <> none then Format.fprintf ppf "%d=%d" s.id s.mate
+        else if s.prop <> none then Format.fprintf ppf "%d>%d" s.id s.prop
+        else Format.fprintf ppf "%d." s.id);
+  }
+
+let codec =
+  Cellpack.map
+    ~inj:(fun s -> (s.id, (s.prop, s.mate)))
+    ~prj:(fun (id, (prop, mate)) -> { id; prop; mate })
+    (Cellpack.pair Cellpack.int_codec
+       (Cellpack.pair Cellpack.int_codec Cellpack.int_codec))
+
+let spec_holds g ~inputs ~final =
+  let node_of_id = Hashtbl.create (Graph.n g) in
+  Graph.iter_nodes g (fun p -> Hashtbl.replace node_of_id (inputs p) p);
+  let partner p =
+    if final.(p).mate = none then None
+    else Hashtbl.find_opt node_of_id final.(p).mate
+  in
+  (* A mate id that is no node's identifier is illegitimate outright. *)
+  Graph.fold_nodes g ~init:true ~f:(fun acc p ->
+      acc && (final.(p).mate = none || partner p <> None))
+  && Ss_core.Checker.matching_legitimate g ~partner

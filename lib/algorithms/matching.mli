@@ -1,0 +1,31 @@
+(** Maximal matching on general graphs, by propose-to-minimum — an LCL
+    workload for the transformer comparison.
+
+    Nodes have unique identifiers.  Unmatched nodes propose to their
+    minimum-identifier unmatched neighbor; a {e mutual} proposal
+    becomes a match, set symmetrically by both endpoints in the same
+    round; matched nodes never change again.  The globally smallest
+    unmatched node with an unmatched neighbor is always proposed back
+    to within a round, so a pair settles every couple of rounds and
+    the fixpoint — a maximal matching — is reached in [O(n)] rounds. *)
+
+type state = { id : int; prop : int; mate : int }
+(** [prop]/[mate] hold neighbor {e identifiers} ([-1] = none), not
+    node indices — the algorithm runs in the weak port-unaware
+    model. *)
+
+type input = int
+(** The node's unique identifier. *)
+
+val none : int
+(** [-1]. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+
+val codec : state Ss_core.Cellpack.codec
+(** Three-word packed layout. *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Mates resolve to real nodes and form a maximal matching
+    ({!Ss_core.Checker.matching_legitimate}). *)

@@ -1,0 +1,60 @@
+module Sync_algo = Ss_sync.Sync_algo
+module Graph = Ss_graph.Graph
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module Cellpack = Ss_core.Cellpack
+
+type mem = Undecided | In | Out
+type state = { id : int; mem : mem }
+type input = int
+
+let equal a b = a.id = b.id && a.mem = b.mem
+
+(* Greedy local-max MIS.  A node joins when every neighbor is either
+   already excluded or still undecided with a smaller id; it leaves
+   when a neighbor joined.  Adjacent simultaneous joins are impossible
+   (ids are unique), and each round the largest-id undecided node
+   decides, so T <= n + 1. *)
+let step id self neighbors =
+  ignore self;
+  let mem =
+    if Array.exists (fun nb -> nb.mem = In) neighbors then Out
+    else if
+      Array.for_all (fun nb -> nb.mem = Out || nb.id < id) neighbors
+    then In
+    else Undecided
+  in
+  { id; mem }
+
+let algo =
+  {
+    Sync_algo.sync_name = "mis";
+    equal;
+    init = (fun id -> { id; mem = Undecided });
+    step;
+    random_state =
+      (fun rng _ ->
+        {
+          id = Rng.int rng 65536;
+          mem =
+            (match Rng.int rng 3 with 0 -> Undecided | 1 -> In | _ -> Out);
+        });
+    state_bits = (fun s -> 2 + 1 + Util.bit_width (abs s.id));
+    pp_state =
+      (fun ppf s ->
+        Format.fprintf ppf "%d%s" s.id
+          (match s.mem with Undecided -> "?" | In -> "+" | Out -> "-"));
+  }
+
+let mem_tag = function Undecided -> 0 | In -> 1 | Out -> 2
+let mem_of_tag = function 0 -> Undecided | 1 -> In | _ -> Out
+
+let codec =
+  Cellpack.map
+    ~inj:(fun s -> (s.id, mem_tag s.mem))
+    ~prj:(fun (id, tag) -> { id; mem = mem_of_tag tag })
+    (Cellpack.pair Cellpack.int_codec Cellpack.int_codec)
+
+let spec_holds g ~inputs:_ ~final =
+  Array.for_all (fun s -> s.mem <> Undecided) final
+  && Ss_core.Checker.mis_legitimate g ~in_set:(fun p -> final.(p).mem = In)

@@ -1,0 +1,29 @@
+(** Maximal independent set on general graphs, by greedy local-max
+    joining — an LCL workload for the transformer comparison.
+
+    Nodes have unique identifiers.  Each round a node recomputes its
+    membership from its neighborhood: it is [Out] when some neighbor
+    is [In], [In] when every neighbor is [Out] or still [Undecided]
+    with a smaller identifier, and [Undecided] otherwise.  Adjacent
+    simultaneous joins are impossible (identifiers are unique and the
+    join condition is a strict local maximum), joined nodes never
+    revert, and each round the largest-identifier undecided node
+    decides — so the fixpoint, a maximal independent set, is reached
+    in at most [n + 1] rounds. *)
+
+type mem = Undecided | In | Out
+
+type state = { id : int; mem : mem }
+
+type input = int
+(** The node's unique identifier. *)
+
+val algo : (state, input) Ss_sync.Sync_algo.t
+
+val codec : state Ss_core.Cellpack.codec
+(** Two-word packed layout (identifier, membership tag). *)
+
+val spec_holds :
+  Ss_graph.Graph.t -> inputs:(int -> input) -> final:state array -> bool
+(** Every node decided, and the [In] set is a maximal independent set
+    ({!Ss_core.Checker.mis_legitimate}). *)

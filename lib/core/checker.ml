@@ -53,6 +53,41 @@ let simulates_history params history config =
   let rec go p = p >= Config.n config || (ok p && go (p + 1)) in
   go 0
 
+(* ------------------------------------------------------------------ *)
+(* LCL output checkers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mis_legitimate g ~in_set =
+  let independent =
+    List.for_all (fun (u, v) -> not (in_set u && in_set v)) (Graph.edges g)
+  in
+  let dominated p =
+    in_set p || Array.exists in_set (Graph.neighbors g p)
+  in
+  independent && Graph.fold_nodes g ~init:true ~f:(fun acc p -> acc && dominated p)
+
+let matching_legitimate g ~partner =
+  let adjacent u v = Array.exists (fun w -> w = v) (Graph.neighbors g u) in
+  let consistent p =
+    match partner p with
+    | None -> true
+    | Some q ->
+        q <> p && q >= 0 && q < Graph.n g && adjacent p q
+        && partner q = Some p
+  in
+  let maximal =
+    List.for_all
+      (fun (u, v) -> partner u <> None || partner v <> None)
+      (Graph.edges g)
+  in
+  maximal
+  && Graph.fold_nodes g ~init:true ~f:(fun acc p -> acc && consistent p)
+
+let coloring_legitimate g ~max_colors ~color =
+  let in_range p = color p >= 0 && color p < max_colors in
+  let proper = List.for_all (fun (u, v) -> color u <> color v) (Graph.edges g) in
+  proper && Graph.fold_nodes g ~init:true ~f:(fun acc p -> acc && in_range p)
+
 let legitimate_terminal params history config =
   let algo = Transformer.algorithm params in
   if not (Config.is_terminal algo config) then

@@ -44,6 +44,23 @@ val simulates_history :
 (** Every node's cell [i] equals [st_p^i] (rounds beyond [T] clamp to
     the fixpoint) for all [i <= h], and every status is [C]. *)
 
+val mis_legitimate : Ss_graph.Graph.t -> in_set:(int -> bool) -> bool
+(** The flagged set is a {e maximal independent set}: no edge has both
+    endpoints in the set, and every node outside it has a neighbor
+    inside. *)
+
+val matching_legitimate :
+  Ss_graph.Graph.t -> partner:(int -> int option) -> bool
+(** [partner p] is the node matched to [p] ([None] when unmatched).
+    Checks a {e maximal matching}: partners are mutual, distinct and
+    adjacent, and no edge joins two unmatched nodes. *)
+
+val coloring_legitimate :
+  Ss_graph.Graph.t -> max_colors:int -> color:(int -> int) -> bool
+(** Every node's color lies in [[0, max_colors)] (negative = uncolored
+    = illegitimate) and no edge is monochromatic — for the greedy
+    algorithm, call with [max_colors = Δ + 1]. *)
+
 val legitimate_terminal :
   ('s, 'i) Transformer.params ->
   ('s, 'i) Ss_sync.Sync_runner.history ->

@@ -29,7 +29,7 @@ let min_neighbor_height (v : ('s, 'i) view) =
 (* Cell i is checkable when all dependencies exist: i - 1 <= q.h for
    every neighbor q, i.e. i <= min_nb + 1 (beware overflow when the
    node has no neighbors). *)
-let top_checkable (v : ('s, 'i) view) =
+let top_checkable (v : ('s, 'i) view) : int =
   let h = St.height v.Algorithm.self in
   let min_nb = min_neighbor_height v in
   if min_nb = max_int then h else min h (min_nb + 1)
@@ -99,6 +99,15 @@ let make_cache () : ('s, 'i) cache = Hashtbl.create 64
    a long recovery cannot accumulate unbounded stale watermarks. *)
 let cache_capacity = 1 lsl 16
 
+(* Global count of guard evaluations answered (fully or partially)
+   from a watermark instead of a full-prefix rescan.  The caches
+   themselves are per-domain (transformer.ml keys them through
+   Domain.DLS), so this one shared counter is the only cross-domain
+   write on the hot path; it exists so tests can assert that sharded
+   runs actually exercise the cached predicates. *)
+let hits = Atomic.make 0
+let cache_hits () = Atomic.get hits
+
 let algo_err_cached (tbl : ('s, 'i) cache) params (v : ('s, 'i) view) =
   let top = top_checkable v in
   if top < 1 then false
@@ -126,13 +135,16 @@ let algo_err_cached (tbl : ('s, 'i) cache) params (v : ('s, 'i) view) =
     in
     let found = Hashtbl.find_opt tbl rep in
     match found with
-    | Some e when fresh_hit e -> e.result
+    | Some e when fresh_hit e ->
+        Atomic.incr hits;
+        e.result
     | _ ->
         let base =
           match found with
           | Some e when prefix_valid e -> min e.verified top
           | _ -> 0
         in
+        if base > 0 then Atomic.incr hits;
         let i = first_bad params v ~base ~top in
         let result = i <= top in
         let verified = if result then i - 1 else top in

@@ -39,6 +39,19 @@ val algo_hat : ('s, 'i) params -> ('s, 'i) view -> int -> 's
 val min_neighbor_height : ('s, 'i) view -> int
 (** Smallest neighbor height ([max_int] when there are no neighbors). *)
 
+val top_checkable : ('s, 'i) view -> int
+(** The largest checkable cell index: [min h (min_nb + 1)] (and [h]
+    for an isolated node) — cell [i] is checkable when every
+    dependency [q.L(i-1)] exists. *)
+
+val first_bad : ('s, 'i) params -> ('s, 'i) view -> base:int -> top:int -> int
+(** [first_bad params v ~base ~top] scans cells [base+1 .. top]
+    (cells [1 .. base] are assumed verified) and returns the index of
+    the first cell that differs from [algô(p, i-1)], or [top + 1] when
+    the whole range verifies.  The shared primitive under
+    {!algo_err}, {!algo_err_cached} and the adaptive transformer's
+    point-truncation rule. *)
+
 val algo_err : ('s, 'i) params -> ('s, 'i) view -> bool
 (** [algoErr(p)]: some cell [1 <= i <= h] has all its dependencies
     present ([∀q, q.h >= i-1]) yet differs from [algô(p, i-1)].
@@ -65,6 +78,12 @@ val algo_err_cached : ('s, 'i) cache -> ('s, 'i) params -> ('s, 'i) view -> bool
 (** Same result as {!algo_err}, but O(deg) on a stamp-exact hit and
     O(Δ·deg) when only Δ cells were appended or became checkable since
     the last evaluation of this node. *)
+
+val cache_hits : unit -> int
+(** Process-wide count of {!algo_err_cached} evaluations answered from
+    a watermark (stamp-exact hits plus partial prefix reuses), across
+    all caches and domains.  Monotone; tests assert it increases to
+    pin that a run exercised the cached path. *)
 
 val dep_err : ('s, 'i) params -> ('s, 'i) view -> bool
 (** [depErr(p)]: the node is in error without an error neighbor of

@@ -1,0 +1,197 @@
+module Config = Ss_sim.Config
+module Engine = Ss_sim.Engine
+module Graph = Ss_graph.Graph
+module Sync_algo = Ss_sync.Sync_algo
+module Sync_runner = Ss_sync.Sync_runner
+module Rng = Ss_prelude.Rng
+module Util = Ss_prelude.Util
+module P = Predicates
+
+module type TRANSFORMER = sig
+  val name : string
+  val doc : string
+
+  type 's state
+
+  val supports : ('s, 'i) P.params -> (unit, string) result
+  val algorithm : ('s, 'i) P.params -> ('s state, 'i) Ss_sim.Algorithm.t
+
+  val reference_algorithm :
+    ('s, 'i) P.params -> ('s state, 'i) Ss_sim.Algorithm.t
+
+  val clean_config :
+    ('s, 'i) P.params ->
+    Graph.t ->
+    inputs:(int -> 'i) ->
+    ('s state, 'i) Config.t
+
+  val corrupt_state :
+    Rng.t -> max_height:int -> ('s, 'i) P.params -> 'i -> 's state -> 's state
+
+  val outputs : ('s state, 'i) Config.t -> 's array
+  val space_bits : ('s, 'i) P.params -> ('s state, 'i) Config.t -> int
+  val move_bits : ('s, 'i) P.params -> rule:string -> 's state -> int
+
+  val legitimate_terminal :
+    ('s, 'i) P.params ->
+    ('s, 'i) Sync_runner.history ->
+    ('s state, 'i) Config.t ->
+    (unit, string) result
+end
+
+type entry = (module TRANSFORMER)
+
+(* Registration order is rendering order; an assoc list keeps it. *)
+let table : (string * entry) list ref = ref []
+
+let name (module T : TRANSFORMER) = T.name
+let doc (module T : TRANSFORMER) = T.doc
+let supports (module T : TRANSFORMER) params = T.supports params
+
+let register entry =
+  let n = name entry in
+  if List.mem_assoc n !table then
+    invalid_arg ("Registry.register: duplicate transformer: " ^ n);
+  table := !table @ [ (n, entry) ]
+
+let find n = List.assoc_opt n !table
+let all () = List.map snd !table
+
+let find_exn n =
+  match find n with
+  | Some e -> e
+  | None ->
+      failwith
+        (Printf.sprintf "unknown transformer: %s (known: %s)" n
+           (String.concat ", " (List.map fst !table)))
+
+(* ------------------------------------------------------------------ *)
+(* The §3 transformer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Trans = struct
+  include Transformer
+
+  let name = "trans"
+
+  let doc =
+    "paper §3 Trans(AlgI): error broadcast (RR), DAG truncation (RP), \
+     feedback (RC), simulation (RU)"
+
+  type 's state = 's Trans_state.t
+
+  let supports _ = Ok ()
+  let reference_algorithm = algorithm_uncached
+  let space_bits = Checker.space_bits
+
+  (* §6's delta encoding — kept in lock-step with Ss_energy.delta_bits
+     (which owns the analytical model; this hook feeds the
+     transformer-comparison grid). *)
+  let move_bits p ~rule st =
+    let label = 2 in
+    if rule = ru then
+      label + p.P.sync.Sync_algo.state_bits (Trans_state.top st)
+    else if rule = rp then
+      label
+      + (match p.P.bound with P.Finite b -> Util.bit_width b | P.Infinite -> 32)
+    else label
+
+  let legitimate_terminal = Checker.legitimate_terminal
+end
+
+let trans : entry = (module Trans)
+let () = register trans
+
+(* ------------------------------------------------------------------ *)
+(* Generic measured runs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  transformer : string;
+  moves : int;
+  steps : int;
+  rounds : int;
+  terminated : bool;
+  legitimate : bool;
+  spec_ok : bool;
+  space_bits : int;
+  energy_bits : int;
+  moves_per_rule : (string * int) list;
+}
+
+let measure (type s i) (entry : entry) ?budget ?(max_steps = 2_000_000)
+    ?(corrupt = `All 1.0) ?hist ~rng ~daemon ~max_height
+    ~(spec : s array -> bool) (params : (s, i) P.params) graph ~inputs =
+  let module T = (val entry) in
+  (match T.supports params with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Registry.measure: %s: %s" T.name e));
+  let clean = T.clean_config params graph ~inputs in
+  let corrupt_one node st =
+    T.corrupt_state rng ~max_height params (Config.input clean node) st
+  in
+  let start =
+    match corrupt with
+    | `None -> clean
+    | `All p ->
+        if not (p >= 0.0 && p <= 1.0) then
+          invalid_arg
+            (Printf.sprintf "Registry.measure: p = %g not in [0, 1]" p);
+        Config.with_states clean
+          (Array.mapi
+             (fun node st ->
+               if Rng.chance rng p then corrupt_one node st else st)
+             clean.Config.states)
+    | `Nodes nodes ->
+        let nodes = List.sort_uniq compare nodes in
+        List.iter
+          (fun v ->
+            if v < 0 || v >= Config.n clean then
+              invalid_arg
+                (Printf.sprintf "Registry.measure: node %d out of range" v))
+          nodes;
+        let states = Array.copy clean.Config.states in
+        List.iter (fun v -> states.(v) <- corrupt_one v states.(v)) nodes;
+        Config.with_states clean states
+  in
+  let energy = ref 0 in
+  let sink ~step:_ ~rounds:_ ~moved after =
+    List.iter
+      (fun (v, rule) ->
+        energy :=
+          !energy
+          + Graph.degree graph v
+            * T.move_bits params ~rule (Config.state after v))
+      moved
+  in
+  let stats =
+    Engine.run ?budget ~max_steps ~sinks:[ sink ] (T.algorithm params) daemon
+      start
+  in
+  let hist =
+    match hist with
+    | Some h -> h
+    | None ->
+        let stop_after =
+          match params.P.bound with
+          | P.Finite b -> Some b
+          | P.Infinite -> None
+        in
+        Sync_runner.run ?stop_after params.P.sync graph ~inputs
+  in
+  let legitimate =
+    stats.Engine.terminated
+    && T.legitimate_terminal params hist stats.Engine.final = Ok ()
+  in
+  {
+    transformer = T.name;
+    moves = stats.Engine.moves;
+    steps = stats.Engine.steps;
+    rounds = stats.Engine.rounds;
+    terminated = stats.Engine.terminated;
+    legitimate;
+    spec_ok = spec (T.outputs stats.Engine.final);
+    space_bits = T.space_bits params stats.Engine.final;
+    energy_bits = !energy;
+    moves_per_rule = stats.Engine.moves_per_rule;
+  }

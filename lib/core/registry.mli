@@ -1,0 +1,203 @@
+(** The pluggable transformer registry.
+
+    A {e transformer} turns a terminating synchronous algorithm
+    (a {!Ss_sync.Sync_algo.t} plus a graph and a bound, packaged as a
+    {!Predicates.params}) into an asynchronous self-stabilizing
+    algorithm the {!Ss_sim.Engine} consumes directly, together with
+    the accounting hooks every campaign needs: per-move energy bits,
+    space bits, corruption, and a terminal-legitimacy verdict against
+    the synchronous ground truth.
+
+    Three transformers register here: the paper's §3 system ({!Trans},
+    seeded by this module), the §7 rollback compiler
+    ([Ss_rollback.Rollback.transformer]) and the fully adaptive
+    transformer ([Ss_adaptive.Adaptive.transformer]) — the latter two
+    are entered into the table by [Ss_expt.Catalog], the campaign
+    layer's single source of truth.
+
+    {b Contract} (DESIGN.md §14).  A registered transformer must keep
+    the properties the simulation stack relies on: rules that read
+    only the node's own state and the multiset of neighbor states
+    (dirty-set scheduler soundness), pure guards safe to re-evaluate
+    at any time from any domain (sharded sweeps, chaos harness
+    re-scans), and value-semantics states (the engine never mutates a
+    state in place). *)
+
+module type TRANSFORMER = sig
+  val name : string
+  (** Registry key, e.g. ["trans"], ["rollback"], ["adaptive"]. *)
+
+  val doc : string
+  (** One-line description for [fasst list]. *)
+
+  type 's state
+  (** Per-node transformed state over simulated states ['s]. *)
+
+  val supports : ('s, 'i) Predicates.params -> (unit, string) result
+  (** Whether this transformer accepts the given parameters (e.g. the
+      rollback compiler and the adaptive transformer require a finite
+      bound).  [Error] carries a diagnostic. *)
+
+  val algorithm :
+    ('s, 'i) Predicates.params -> ('s state, 'i) Ss_sim.Algorithm.t
+  (** The transformed asynchronous algorithm (production path — may
+      embed caches, which must never change results). *)
+
+  val reference_algorithm :
+    ('s, 'i) Predicates.params -> ('s state, 'i) Ss_sim.Algorithm.t
+  (** The uncached reference twin for differential testing; equal to
+      {!algorithm} observationally. *)
+
+  val clean_config :
+    ('s, 'i) Predicates.params ->
+    Ss_graph.Graph.t ->
+    inputs:(int -> 'i) ->
+    ('s state, 'i) Ss_sim.Config.t
+  (** The controlled initial configuration. *)
+
+  val corrupt_state :
+    Ss_prelude.Rng.t ->
+    max_height:int ->
+    ('s, 'i) Predicates.params ->
+    'i ->
+    's state ->
+    's state
+  (** Transient-fault model: scramble one node state (heights, where
+      variable, stay within [min max_height B]). *)
+
+  val outputs : ('s state, 'i) Ss_sim.Config.t -> 's array
+  (** The simulated algorithm's outputs (each node's newest cell). *)
+
+  val space_bits :
+    ('s, 'i) Predicates.params -> ('s state, 'i) Ss_sim.Config.t -> int
+  (** Maximum per-node memory footprint in bits. *)
+
+  val move_bits : ('s, 'i) Predicates.params -> rule:string -> 's state -> int
+  (** Energy hook: bits of {e one message} announcing a move that
+      produced the given state under the given rule — §6's delta
+      encoding for Trans-shaped transformers, a full-state broadcast
+      for the rollback compiler.  {!measure} multiplies by the mover's
+      degree and sums. *)
+
+  val legitimate_terminal :
+    ('s, 'i) Predicates.params ->
+    ('s, 'i) Ss_sync.Sync_runner.history ->
+    ('s state, 'i) Ss_sim.Config.t ->
+    (unit, string) result
+  (** Terminal-configuration legitimacy against the synchronous ground
+      truth (terminality included). *)
+end
+
+type entry = (module TRANSFORMER)
+
+val register : entry -> unit
+(** Add a transformer to the table.
+    @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> entry option
+(** Look up by name. *)
+
+val find_exn : string -> entry
+(** @raise Failure with the known names on an unknown name. *)
+
+val all : unit -> entry list
+(** Every registered transformer, in registration order (so tables and
+    [fasst list] render deterministically). *)
+
+val name : entry -> string
+
+val doc : entry -> string
+
+val supports : entry -> ('s, 'i) Predicates.params -> (unit, string) result
+
+(* ------------------------------------------------------------------ *)
+(* The §3 transformer as a registry entry                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The paper's transformer behind the {!TRANSFORMER} interface — the
+    whole {!Transformer} API (params, rules, packed configs, [run]
+    wrappers) plus the registry hooks.  Call sites alias this module
+    instead of {!Transformer}: the registry is the only consumption
+    path for the §3 system outside [lib/core]. *)
+module Trans : sig
+  include module type of Transformer
+
+  val name : string
+  (** ["trans"]. *)
+
+  val doc : string
+
+  type 's state = 's Trans_state.t
+
+  val supports : ('s, 'i) Predicates.params -> (unit, string) result
+  (** Always [Ok] — the §3 system takes any mode/bound combination
+      {!Transformer.params} admits. *)
+
+  val reference_algorithm :
+    ('s, 'i) Predicates.params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
+  (** {!Transformer.algorithm_uncached}. *)
+
+  val space_bits :
+    ('s, 'i) Predicates.params -> ('s Trans_state.t, 'i) Ss_sim.Config.t -> int
+  (** {!Checker.space_bits}. *)
+
+  val move_bits : ('s, 'i) Predicates.params -> rule:string -> 's Trans_state.t -> int
+  (** §6's delta encoding: 2 label bits, plus the new cell for [RU] or
+      the new height for [RP]. *)
+
+  val legitimate_terminal :
+    ('s, 'i) Predicates.params ->
+    ('s, 'i) Ss_sync.Sync_runner.history ->
+    ('s Trans_state.t, 'i) Ss_sim.Config.t ->
+    (unit, string) result
+  (** {!Checker.legitimate_terminal}. *)
+end
+
+val trans : entry
+(** {!Trans}, pre-registered by this module. *)
+
+(* ------------------------------------------------------------------ *)
+(* Generic measured runs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  transformer : string;
+  moves : int;
+  steps : int;
+  rounds : int;
+  terminated : bool;
+  legitimate : bool;  (** Terminated into a legitimate configuration. *)
+  spec_ok : bool;  (** The caller's output specification held. *)
+  space_bits : int;
+  energy_bits : int;
+      (** [Σ deg(p) · move_bits] over the execution's moves — the
+          transformer-comparison energy column. *)
+  moves_per_rule : (string * int) list;
+}
+
+val measure :
+  entry ->
+  ?budget:Ss_report.Budget.t ->
+  ?max_steps:int ->
+  ?corrupt:[ `None | `All of float | `Nodes of int list ] ->
+  ?hist:('s, 'i) Ss_sync.Sync_runner.history ->
+  rng:Ss_prelude.Rng.t ->
+  daemon:Ss_sim.Daemon.t ->
+  max_height:int ->
+  spec:('s array -> bool) ->
+  ('s, 'i) Predicates.params ->
+  Ss_graph.Graph.t ->
+  inputs:(int -> 'i) ->
+  outcome
+(** One measured run of any registered transformer, entirely behind
+    the interface: build the clean configuration, corrupt it
+    ([`All p] hits each node with probability [p] — the default with
+    [p = 1] — [`Nodes] corrupts exactly the given nodes, [`None]
+    starts clean), run the engine with a move-bits energy sink, and
+    check the terminal configuration against the synchronous ground
+    truth ([hist]; computed here when not supplied, cut at [B] under a
+    finite bound) and the caller's output [spec].
+    [max_steps] defaults to [2_000_000].
+    @raise Invalid_argument when the transformer does not support the
+    parameters ({!supports}), on a corruption probability outside
+    [[0, 1]], or on out-of-range corruption nodes. *)

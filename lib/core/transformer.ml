@@ -76,9 +76,18 @@ let algorithm_gen ~algo_err p =
     pp_state = St.pp p.sync.Sync_algo.pp_state;
   }
 
+(* One watermark cache per (algorithm instantiation × domain): the
+   cache is a plain Hashtbl, so sharded runs — whose guard sweeps
+   execute on the Ss_par pool's domains — get a lazily created
+   private instance through Domain.DLS instead of racing on one
+   table.  The cache is a pure memo (it never changes results), so
+   per-domain instances cannot affect the execution; each DLS key
+   costs every domain one slot for the life of the process, which at
+   campaign scale (thousands of instantiations) is a few kilobytes
+   per domain. *)
 let algorithm p =
-  let cache = P.make_cache () in
-  algorithm_gen ~algo_err:(P.algo_err_cached cache) p
+  let key = Domain.DLS.new_key P.make_cache in
+  algorithm_gen ~algo_err:(fun p v -> P.algo_err_cached (Domain.DLS.get key) p v) p
 
 let algorithm_uncached p = algorithm_gen ~algo_err:P.algo_err p
 
@@ -158,12 +167,10 @@ let corrupt rng ?(p = 1.0) ~max_height params config =
 
 let run ?budget ?max_steps ?max_moves ?now ?chaos ?(self_check = false)
     ?(sharded = false) ?observer ?sinks p daemon config =
-  (* The prefix-verification cache is a plain Hashtbl — not
-     domain-safe — so sharded runs (guards evaluated on the Ss_par
-     pool) use the uncached reference predicates; with the finite
-     bounds big runs need anyway, full re-verification is O(B·deg)
-     per guard, not O(h·deg) unbounded. *)
-  let algo = if sharded then algorithm_uncached p else algorithm p in
+  (* Sharded runs use the cached predicates too: {!algorithm} keys its
+     watermark cache through Domain.DLS, so every pool domain works on
+     a private instance (DESIGN.md §12/§14). *)
+  let algo = algorithm p in
   let sinks = Option.value sinks ~default:[] in
   let sinks =
     if not self_check then sinks

@@ -53,10 +53,12 @@ val ru : string
 val algorithm :
   ('s, 'i) params -> ('s Trans_state.t, 'i) Ss_sim.Algorithm.t
 (** The transformed algorithm, ready for {!Ss_sim.Engine.run}.  Each
-    call embeds a fresh {!Predicates.cache}, so [RR]'s [algoErr] guard
-    re-verifies only the cells that changed since the node's previous
-    evaluation (O(Δ·deg) instead of O(h·deg)).  The cache never
-    changes results — see {!Predicates.algo_err_cached} — and
+    call embeds a fresh per-domain family of {!Predicates.cache}s
+    (keyed through [Domain.DLS], so sharded guard sweeps on the
+    [Ss_par] pool each use a private instance), and [RR]'s [algoErr]
+    guard re-verifies only the cells that changed since the node's
+    previous evaluation (O(Δ·deg) instead of O(h·deg)).  The cache
+    never changes results — see {!Predicates.algo_err_cached} — and
     [run ~self_check:true] cross-validates it on every step. *)
 
 val algorithm_uncached :
@@ -143,10 +145,11 @@ val run :
     through unchanged.
 
     [sharded] (default [false]) enables the engine's sharded
-    scheduler {e and} switches to the uncached reference predicates
-    (the watermark cache is a plain [Hashtbl], not safe across the
-    pool's domains).  Execution stays byte-identical to the
-    sequential cached run — the cache never changes results. *)
+    scheduler.  The cached predicates are used either way:
+    {!algorithm} keys its watermark cache through [Domain.DLS], so
+    each pool domain lazily creates a private instance instead of
+    racing on a shared table.  Execution stays byte-identical to the
+    sequential run — the cache never changes results. *)
 
 val run_naive :
   ?budget:Ss_report.Budget.t ->

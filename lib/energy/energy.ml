@@ -4,7 +4,7 @@ module Engine = Ss_sim.Engine
 module Sync_algo = Ss_sync.Sync_algo
 module Util = Ss_prelude.Util
 module St = Ss_core.Trans_state
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 
 type cost = {
   moves : int;

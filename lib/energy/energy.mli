@@ -66,7 +66,7 @@ val full_state_bits :
     [init] and every cell. *)
 
 val delta_bits :
-  ('s, 'i) Ss_core.Transformer.params -> 's Ss_core.Trans_state.t -> string -> int
+  ('s, 'i) Ss_core.Predicates.params -> 's Ss_core.Trans_state.t -> string -> int
 (** Bits of §6's delta encoding for a move that produced the given
     state under the given rule label: 2 label bits, plus the new
     height for [RP] or the new cell for [RU]. *)
@@ -75,7 +75,7 @@ val measure :
   ?proof:proof_cost ->
   ?heartbeat_period:int ->
   ?max_steps:int ->
-  ('s, 'i) Ss_core.Transformer.params ->
+  ('s, 'i) Ss_core.Predicates.params ->
   Ss_sim.Daemon.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Engine.stats * cost

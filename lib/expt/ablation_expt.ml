@@ -2,7 +2,7 @@ module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
 module Par = Ss_par.Par
 module Engine = Ss_sim.Engine
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Ablation = Ss_core.Ablation
 module Checker = Ss_core.Checker
 module Stabilization = Ss_verify.Stabilization

@@ -3,7 +3,7 @@ module Rng = Ss_prelude.Rng
 module G = Ss_graph
 module Config = Ss_sim.Config
 module Engine = Ss_sim.Engine
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Stabilization = Ss_verify.Stabilization
 module Bfs = Ss_algos.Bfs_tree
 module Naive = Ss_baselines.Naive_bfs

@@ -4,7 +4,7 @@ module Gk = Ss_graph.Gk
 module Config = Ss_sim.Config
 module Engine = Ss_sim.Engine
 module P = Ss_core.Predicates
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module St = Ss_core.Trans_state
 module Blowup = Ss_rollback.Blowup
 module Min_flood = Ss_algos.Min_flood

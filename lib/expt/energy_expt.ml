@@ -5,7 +5,7 @@ module Par = Ss_par.Par
 module G = Ss_graph
 module Daemon = Ss_sim.Daemon
 module P = Ss_core.Predicates
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Energy = Ss_energy.Energy
 module Leader = Ss_algos.Leader_election
 module Stabilization = Ss_verify.Stabilization

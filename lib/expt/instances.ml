@@ -4,7 +4,7 @@ module Util = Ss_prelude.Util
 module Par = Ss_par.Par
 module G = Ss_graph
 module P = Ss_core.Predicates
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Stabilization = Ss_verify.Stabilization
 module Sync_runner = Ss_sync.Sync_runner
 module Leader = Ss_algos.Leader_election

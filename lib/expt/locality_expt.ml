@@ -2,7 +2,7 @@ module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
 module Util = Ss_prelude.Util
 module G = Ss_graph
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Stabilization = Ss_verify.Stabilization
 module Sync_runner = Ss_sync.Sync_runner
 module Lv = Ss_algos.Local_views

@@ -2,7 +2,7 @@ module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
 module Par = Ss_par.Par
 module G = Ss_graph
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Checker = Ss_core.Checker
 module M = Ss_msgnet.Msgnet
 module Leader = Ss_algos.Leader_election

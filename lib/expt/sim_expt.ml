@@ -7,7 +7,7 @@ module Sim = Ss_sim
 module Config = Ss_sim.Config
 module P = Ss_core.Predicates
 module St = Ss_core.Trans_state
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Checker = Ss_core.Checker
 module M = Ss_msgnet.Msgnet
 module Sync_runner = Ss_sync.Sync_runner
@@ -31,41 +31,23 @@ type workload =
     }
       -> workload
 
-let is_ring g =
-  G.Graph.m g = G.Graph.n g
-  &&
-  let ok = ref true in
-  G.Graph.iter_nodes g (fun v ->
-      if Array.length (G.Graph.neighbors g v) <> 2 then ok := false);
-  !ok
-
+(* Workloads come from the {!Catalog}: any registered algorithm can
+   enter the grid under the uniform policy (greedy mode, bound = the
+   measured synchronous time), and the default roster is the catalog's
+   [in_sim_grid] subset. *)
 let workload rng ~algo ~graph_name graph =
-  let pack params inputs =
-    let hist = Sync_runner.run params.Transformer.sync graph ~inputs in
-    W { algo_name = algo; graph_name; graph; params; inputs; hist }
-  in
-  match algo with
-  | "leader" ->
-      let inputs = Ss_algos.Leader_election.random_ids rng graph in
-      pack (Transformer.params Ss_algos.Leader_election.algo) inputs
-  | "bfs" ->
-      pack
-        (Transformer.params Ss_algos.Bfs_tree.algo)
-        (Ss_algos.Bfs_tree.inputs graph ~root:0)
-  | "coloring" ->
-      let n = G.Graph.n graph in
-      if not (is_ring graph) then
-        failwith "coloring (Cole-Vishkin) needs a ring topology";
-      let width = max 8 (Util.bit_width n) in
-      let ids = Ss_algos.Cole_vishkin.random_ring_ids rng ~n ~width in
-      let b = Ss_algos.Cole_vishkin.schedule_length width in
-      pack
-        (Transformer.params ~mode:P.Greedy ~bound:(P.Finite b)
-           Ss_algos.Cole_vishkin.algo)
-        (Ss_algos.Cole_vishkin.inputs ~ids ~width graph)
-  | other -> failwith ("unknown sim algorithm: " ^ other)
+  let a = Catalog.find_algo algo in
+  (match Catalog.validate_topology a graph with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  match a.Catalog.instantiate rng graph with
+  | Catalog.Inst { sync; inputs; spec = _; codec = _ } ->
+      let hist = Sync_runner.run sync graph ~inputs in
+      let b = max 1 hist.Sync_runner.t in
+      let params = Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) sync in
+      W { algo_name = algo; graph_name; graph; params; inputs; hist }
 
-let algo_names = [ "leader"; "bfs"; "coloring" ]
+let algo_names = Catalog.sim_algo_names ()
 
 (* Virtual-time allowance per run.  The clock ticks 10 µs per event, so
    this corresponds to 10^7 events — far beyond any grid cell; it is
@@ -282,11 +264,14 @@ let workloads_for ?(algos = algo_names) rng graphs =
     (fun ((name, g), rng) ->
       List.filter_map
         (fun algo ->
-          (* Cole-Vishkin is ring-only: when it is just one member of a
-             larger sweep, skip it on unfit topologies instead of
-             failing the whole grid; an explicit coloring-only request
-             still fails loudly inside [workload]. *)
-          if algo = "coloring" && List.length algos > 1 && not (is_ring g)
+          (* Ring-only members of a larger sweep are skipped on unfit
+             topologies instead of failing the whole grid; an explicit
+             single-algorithm request still fails loudly inside
+             [workload]. *)
+          if
+            (Catalog.find_algo algo).Catalog.ring_only
+            && List.length algos > 1
+            && not (Catalog.is_ring g)
           then None
           else Some (workload (Rng.split rng) ~algo ~graph_name:name g))
         algos)

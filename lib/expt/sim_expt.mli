@@ -34,15 +34,17 @@ val workload :
   graph_name:string ->
   Ss_graph.Graph.t ->
   workload
-(** [workload rng ~algo ~graph_name g] builds a grid workload.
-    Algorithms: ["leader"], ["bfs"], ["coloring"] (Cole-Vishkin;
-    requires a ring).  The rng seeds algorithm inputs (ids); the
-    synchronous history is computed here, once, outside the pool.
-    @raise Failure on an unknown algorithm or a non-ring coloring
-    topology. *)
+(** [workload rng ~algo ~graph_name g] builds a grid workload for any
+    {!Catalog} algorithm, under the uniform policy: greedy mode, bound
+    = the measured synchronous time.  The rng seeds algorithm inputs
+    (ids); the synchronous history is computed here, once, outside the
+    pool.
+    @raise Failure on an unknown algorithm or a ring-only algorithm on
+    a non-ring topology. *)
 
 val algo_names : string list
-(** The supported algorithm names, grid order. *)
+(** The default grid roster: the catalog's [in_sim_grid] subset
+    (currently leader, bfs, cv). *)
 
 val workloads_for :
   ?algos:string list ->

@@ -2,7 +2,7 @@ module Table = Ss_prelude.Table
 module Rng = Ss_prelude.Rng
 module Par = Ss_par.Par
 module P = Ss_core.Predicates
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Stabilization = Ss_verify.Stabilization
 module Sync_runner = Ss_sync.Sync_runner
 module Leader = Ss_algos.Leader_election

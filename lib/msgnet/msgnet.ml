@@ -3,7 +3,7 @@ module Algorithm = Ss_sim.Algorithm
 module Config = Ss_sim.Config
 module Sync_algo = Ss_sync.Sync_algo
 module St = Ss_core.Trans_state
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Energy = Ss_energy.Energy
 module Rng = Ss_prelude.Rng
 module Budget = Ss_report.Budget

@@ -150,7 +150,7 @@ val run :
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
   ?sinks:sink list ->
-  ('s, 'i) Ss_core.Transformer.params ->
+  ('s, 'i) Ss_core.Predicates.params ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
 (** [run ~rng params config] executes the protocol from the given
@@ -205,7 +205,7 @@ val run_naive :
   rng:Ss_prelude.Rng.t ->
   ?corrupt_mirrors:bool ->
   ?sinks:sink list ->
-  ('s, 'i) Ss_core.Transformer.params ->
+  ('s, 'i) Ss_core.Predicates.params ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
 (** Reference event loop: identical protocol, but with the historical

@@ -4,6 +4,7 @@ module Sync_algo = Ss_sync.Sync_algo
 module Sync_runner = Ss_sync.Sync_runner
 module Util = Ss_prelude.Util
 module Rng = Ss_prelude.Rng
+module P = Ss_core.Predicates
 
 type 's state = { init : 's; cells : 's array }
 
@@ -97,3 +98,77 @@ let simulates_history sync history config =
   in
   let rec go p = p >= Config.n config || (ok p && go (p + 1)) in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry entry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bound_of (p : ('s, 'i) P.params) =
+  match p.P.bound with
+  | P.Finite b -> b
+  | P.Infinite -> invalid_arg "Rollback: requires a finite bound"
+
+module Entry = struct
+  let name = "rollback"
+
+  let doc =
+    "§7 rollback compiler (Awerbuch-Varghese): fixed-length lists, one FIX \
+     rule recomputing every cell; exponential moves in the worst case"
+
+  type nonrec 's state = 's state
+
+  let supports (p : ('s, 'i) P.params) =
+    match p.P.bound with
+    | P.Finite _ -> Ok ()
+    | P.Infinite -> Error "the rollback compiler requires a finite bound B"
+
+  let algorithm p = algorithm p.P.sync ~bound:(bound_of p)
+  let reference_algorithm = algorithm
+
+  let clean_config p g ~inputs =
+    clean_config p.P.sync ~bound:(bound_of p) g ~inputs
+
+  (* The fault model mirrors {!corrupt}: scramble each cell with
+     probability 1/2 (lengths are fixed, [init] is read-only), always
+     changing at least one cell so a hit node is actually hit. *)
+  let corrupt_state rng ~max_height:_ (p : ('s, 'i) P.params) input st =
+    let b = height st in
+    let cells =
+      Array.map
+        (fun c ->
+          if Rng.bool rng then p.P.sync.Sync_algo.random_state rng input
+          else c)
+        st.cells
+    in
+    if b > 0 then begin
+      let i = Rng.int rng b in
+      cells.(i) <- p.P.sync.Sync_algo.random_state rng input
+    end;
+    { st with cells }
+
+  let outputs config =
+    Array.map (fun st -> cell st (height st)) config.Config.states
+
+  let state_bits (p : ('s, 'i) P.params) st =
+    let bits = p.P.sync.Sync_algo.state_bits in
+    bits st.init + Array.fold_left (fun acc c -> acc + bits c) 0 st.cells
+
+  let space_bits p config =
+    Array.fold_left
+      (fun acc st -> max acc (state_bits p st))
+      0 config.Config.states
+
+  (* No delta encoding is available: a FIX move may rewrite any subset
+     of the cells, so announcing it broadcasts the whole list — the
+     §7 half of the paper's energy argument. *)
+  let move_bits p ~rule:_ st = state_bits p st
+
+  let legitimate_terminal p hist config =
+    if not (Config.is_terminal (algorithm p) config) then
+      Error "configuration is not terminal"
+    else if not (simulates_history p.P.sync hist config) then
+      Error "terminal lists do not match the synchronous history"
+    else Ok ()
+end
+
+let transformer : Ss_core.Registry.entry = (module Entry)

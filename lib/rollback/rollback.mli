@@ -67,3 +67,12 @@ val simulates_history :
   bool
 (** Every cell [i] of every node equals [st_p^i] (clamped beyond
     [T]). *)
+
+module Entry : Ss_core.Registry.TRANSFORMER with type 's state = 's state
+(** The compiler behind the {!Ss_core.Registry.TRANSFORMER} interface:
+    finite bounds only, whole-list [move_bits] (no delta encoding
+    exists for [FIX]), corruption scrambling cell contents. *)
+
+val transformer : Ss_core.Registry.entry
+(** {!Entry} as a registry entry; entered into the table by
+    [Ss_expt.Catalog]. *)

@@ -2,7 +2,7 @@ module Config = Ss_sim.Config
 module Daemon = Ss_sim.Daemon
 module Engine = Ss_sim.Engine
 module Sync_runner = Ss_sync.Sync_runner
-module Transformer = Ss_core.Transformer
+module Transformer = Ss_core.Registry.Trans
 module Checker = Ss_core.Checker
 module Rng = Ss_prelude.Rng
 

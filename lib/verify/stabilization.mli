@@ -10,7 +10,7 @@
     legitimacy of the terminal configuration. *)
 
 type ('s, 'i) scenario = {
-  params : ('s, 'i) Ss_core.Transformer.params;
+  params : ('s, 'i) Ss_core.Predicates.params;
   graph : Ss_graph.Graph.t;
   inputs : int -> 'i;
 }
