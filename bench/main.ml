@@ -152,18 +152,21 @@ let bench_recovery_layout ~packed ~n () =
 (* Message-network end-to-end recovery: corrupted Cole-Vishkin ring
    coloring (§5.3's ring instance — its finite bound keeps per-event
    simulation work constant, so the event loop itself is what is
-   measured), indexed (Chanset) vs naive (the original per-event
-   Hashtbl.fold + List.nth channel selection) scheduling.  The
-   heartbeat runs at the tightest drain-safe period 2m + 2 — the §6
-   stress point where proof waves keep every channel busy — except on
-   large rings, where that period needs more events than the default
-   budget allows and the adaptive default (4m) is used instead.  A
+   measured), indexed (ring-buffer channels, candidate-set scheduling,
+   codec proofs, packed mirrors) vs naive (the original per-event
+   Hashtbl.fold + List.nth channel selection over boxed queues, Marshal
+   proof pre-images, boxed mirrors).  Both heartbeat regimes are
+   benched explicitly: tight is the drain-safe minimum 2m + 2 — the §6
+   stress point where proof waves keep every channel busy — and
+   adaptive is the deployment default max 400 (4m).  The explicit
+   event allowance covers the tight regime's proof churn on larger
+   rings; the old grid silently fell back to the adaptive regime at
+   m >= 199, which made the published timings non-monotone in n.  A
    fresh rng per run keeps every iteration on the identical event
    schedule *within* a path. *)
-let bench_msgnet_recovery ~indexed ~n () =
+let msgnet_cv_start ~n ~width =
   let g = G.Builders.cycle n in
   let rng = Rng.create 4 in
-  let width = 10 in
   let ids = Ss_algos.Cole_vishkin.random_ring_ids rng ~n ~width in
   let inputs = Ss_algos.Cole_vishkin.inputs ~ids ~width g in
   let b = Ss_algos.Cole_vishkin.schedule_length width in
@@ -175,13 +178,31 @@ let bench_msgnet_recovery ~indexed ~n () =
     Core.Transformer.corrupt rng ~max_height:b params
       (Core.Transformer.clean_config params g ~inputs)
   in
-  let tight = (2 * G.Graph.m g) + 2 in
-  let heartbeat_every = if tight >= 400 then 4 * G.Graph.m g else tight in
+  let hist = Ss_sync.Sync_runner.run Ss_algos.Cole_vishkin.algo g ~inputs in
+  (g, params, hist, start)
+
+let msgnet_heartbeat ~regime g =
+  let m = G.Graph.m g in
+  match regime with `Tight -> (2 * m) + 2 | `Adaptive -> max 400 (4 * m)
+
+(* Tight-regime recoveries deliver far more proof traffic than the
+   default 2M-event cap (ring 256 needs ~2.1M deliveries alone); the
+   one-shot rows at n = 10^5 need ~6M.  Headroom for both. *)
+let msgnet_event_allowance = 50_000_000
+
+let bench_msgnet_recovery ~indexed ~regime ~n () =
+  let g, params, _, start = msgnet_cv_start ~n ~width:10 in
+  let heartbeat_every = msgnet_heartbeat ~regime g in
   fun () ->
     let rng = Rng.create 23 in
     let _, stats =
-      if indexed then Ss_msgnet.Msgnet.run ~heartbeat_every ~rng params start
-      else Ss_msgnet.Msgnet.run_naive ~heartbeat_every ~rng params start
+      if indexed then
+        Ss_msgnet.Msgnet.run ~codec:Ss_algos.Cole_vishkin.codec
+          ~heartbeat_every ~max_events:msgnet_event_allowance ~rng params
+          start
+      else
+        Ss_msgnet.Msgnet.run_naive ~heartbeat_every
+          ~max_events:msgnet_event_allowance ~rng params start
     in
     assert stats.Ss_msgnet.Msgnet.quiescent
 
@@ -369,6 +390,146 @@ let memory_rows () =
       ])
     [ (64, 64); (320, 320); (1000, 1000) ]
 
+(* One-shot message-network rows for the scales Bechamel cannot
+   iterate: ring 256 under the tight regime (the naive twin needs
+   ~2.1M events there — tens of seconds per run), rings 10^4 and 10^5,
+   and a leader workload on a torus (infinite bound — boxed mirrors —
+   exercising the other layout arm at scale).  Each workload runs once
+   under a hard deadline and must reach quiescence with a legitimate
+   terminal configuration, or the bench aborts.  Alongside the wall
+   time, each scale workload reports its wire-memory figures:
+   msgnet-memory-bytes = resident mirror bytes plus the high-water
+   mark of in-flight message bytes — what a deployment provisions for
+   the message plane. *)
+let msgnet_scale_rows () =
+  let module M = Ss_msgnet.Msgnet in
+  let deadline_s = 300.0 in
+  let finish name params hist t0 (final, stats) =
+    let dt = Unix.gettimeofday () -. t0 in
+    if not stats.M.quiescent then
+      failwith (Printf.sprintf "msgnet scale row %s: not quiescent" name);
+    if Core.Checker.legitimate_terminal params hist final <> Ok () then
+      failwith (Printf.sprintf "msgnet scale row %s: illegitimate" name);
+    Printf.printf "%s: deliveries=%d peak-wire-bits=%d mirror-bytes=%d (%.1fs)\n%!"
+      name stats.M.deliveries stats.M.peak_queued_bits stats.M.mirror_bytes dt;
+    (stats, dt)
+  in
+  let time_cv ~indexed ~regime ~name ~n ~width =
+    let g, params, hist, start = msgnet_cv_start ~n ~width in
+    let heartbeat_every = msgnet_heartbeat ~regime g in
+    let budget = Ss_report.Budget.v ~deadline_s () in
+    let t0 = Unix.gettimeofday () in
+    let rng = Rng.create 23 in
+    finish name params hist t0
+      (if indexed then
+         M.run ~codec:Ss_algos.Cole_vishkin.codec ~heartbeat_every
+           ~max_events:msgnet_event_allowance ~budget ~rng params start
+       else
+         M.run_naive ~heartbeat_every ~max_events:msgnet_event_allowance
+           ~budget ~rng params start)
+  in
+  let time_leader_torus ~name ~rows ~cols =
+    let g = G.Builders.torus ~rows ~cols in
+    let rng = Rng.create 4 in
+    let inputs = Ss_algos.Leader_election.random_ids rng g in
+    let params = Core.Transformer.params Ss_algos.Leader_election.algo in
+    let start =
+      Core.Transformer.corrupt rng ~max_height:(rows + cols) params
+        (Core.Transformer.clean_config params g ~inputs)
+    in
+    let hist = Ss_sync.Sync_runner.run Ss_algos.Leader_election.algo g ~inputs in
+    let budget = Ss_report.Budget.v ~deadline_s () in
+    let t0 = Unix.gettimeofday () in
+    let run_rng = Rng.create 23 in
+    finish name params hist t0
+      (M.run ~codec:Ss_algos.Leader_election.codec
+         ~max_events:msgnet_event_allowance ~budget ~rng:run_rng params start)
+  in
+  let ns dt = Table.I (int_of_float (dt *. 1e9)) in
+  let wire_memory tag (stats : M.stats) n =
+    let bytes = stats.M.mirror_bytes + ((stats.M.peak_queued_bits + 7) / 8) in
+    [
+      [ Table.S (Printf.sprintf "msgnet-memory-bytes/%s" tag); Table.I bytes ];
+      [
+        Table.S (Printf.sprintf "msgnet-memory-bytes-per-node/%s" tag);
+        Table.I (bytes / n);
+      ];
+    ]
+  in
+  (* The honest ring-256 tight grid point (the pre-regime-split bench
+     silently replaced it with an adaptive run), and the speedup row
+     the perf claim is anchored to. *)
+  let s_idx, t_idx =
+    time_cv ~indexed:true ~regime:`Tight
+      ~name:"msgnet-recovery-indexed/ring256/tight" ~n:256 ~width:10
+  in
+  let _, t_naive =
+    time_cv ~indexed:false ~regime:`Tight
+      ~name:"msgnet-recovery-naive/ring256/tight" ~n:256 ~width:10
+  in
+  let speedup = t_naive /. t_idx in
+  if speedup < 3.0 then
+    failwith
+      (Printf.sprintf "msgnet speedup regression: %.2fx < 3x at ring256/tight"
+         speedup);
+  let s_10k, t_10k =
+    time_cv ~indexed:true ~regime:`Adaptive
+      ~name:"msgnet-recovery-indexed/ring10000" ~n:10_000 ~width:17
+  in
+  let s_100k, t_100k =
+    time_cv ~indexed:true ~regime:`Adaptive
+      ~name:"msgnet-recovery-indexed/ring100000" ~n:100_000 ~width:17
+  in
+  let s_torus, t_torus =
+    time_leader_torus ~name:"msgnet-recovery-indexed/torus48x48-leader"
+      ~rows:48 ~cols:48
+  in
+  [
+    [ Table.S "msgnet-recovery-indexed/ring256/tight"; ns t_idx ];
+    [ Table.S "msgnet-recovery-naive/ring256/tight"; ns t_naive ];
+    [
+      Table.S "msgnet-speedup/ring256-tight";
+      Table.S (Printf.sprintf "%.1fx" speedup);
+    ];
+    [ Table.S "msgnet-recovery-indexed/ring10000"; ns t_10k ];
+    [ Table.S "msgnet-recovery-indexed/ring100000"; ns t_100k ];
+    [ Table.S "msgnet-recovery-indexed/torus48x48-leader"; ns t_torus ];
+  ]
+  @ wire_memory "ring256-tight" s_idx 256
+  @ wire_memory "ring10000" s_10k 10_000
+  @ wire_memory "ring100000" s_100k 100_000
+  @ wire_memory "torus48x48-leader" s_torus 2304
+
+(* The @msgnet-bigrun CI smoke, mirroring @bigrun on the message
+   plane: full §6 recovery of Cole-Vishkin coloring on an n=100000
+   ring from a corrupted start, in the production configuration —
+   codec proof pre-images, packed mirrors, ring-buffer channels,
+   candidate-set scheduling — under a hard wall-clock budget.  A
+   deadline trip (non-quiescent finish) fails the alias. *)
+let msgnet_bigrun () =
+  let module M = Ss_msgnet.Msgnet in
+  let t0 = Unix.gettimeofday () in
+  let n = 100_000 in
+  let g, params, hist, start = msgnet_cv_start ~n ~width:17 in
+  let heartbeat_every = msgnet_heartbeat ~regime:`Adaptive g in
+  let budget = Ss_report.Budget.v ~deadline_s:240.0 () in
+  let rng = Rng.create 23 in
+  let final, stats =
+    M.run ~codec:Ss_algos.Cole_vishkin.codec ~heartbeat_every
+      ~max_events:msgnet_event_allowance ~budget ~rng params start
+  in
+  let legitimate = Core.Checker.legitimate_terminal params hist final = Ok () in
+  Printf.printf
+    "msgnet-bigrun: n=%d deliveries=%d waves=%d peak-wire-bits=%d \
+     mirror-bytes=%d quiescent=%b legitimate=%b (%.1fs)\n%!"
+    n stats.M.deliveries stats.M.proof_waves stats.M.peak_queued_bits
+    stats.M.mirror_bytes stats.M.quiescent legitimate
+    (Unix.gettimeofday () -. t0);
+  if not (stats.M.quiescent && legitimate) then (
+    prerr_endline
+      "msgnet-bigrun: FAILED (deadline tripped or illegitimate terminal)";
+    exit 1)
+
 (* The @bigrun CI smoke: full recovery of leader election on an
    n=100000 torus from a fully corrupted packed start, sharded across
    the worker pool, under a hard wall-clock budget.  A budget trip or
@@ -490,17 +651,27 @@ let micro_benchmarks () =
                 (Staged.stage (bench_algo_err ~cached:false ~h ()));
             ])
           [ 8; 64; 512 ]
+      (* Ring 256 under the tight regime is a one-shot row in
+         [msgnet_scale_rows] — the naive twin needs tens of seconds
+         per run there, beyond what Bechamel can iterate. *)
       @ List.concat_map
-          (fun n ->
+          (fun (n, regime, tag) ->
             [
               Test.make
-                ~name:(Printf.sprintf "msgnet-recovery-indexed/ring%d" n)
-                (Staged.stage (bench_msgnet_recovery ~indexed:true ~n ()));
+                ~name:(Printf.sprintf "msgnet-recovery-indexed/ring%d/%s" n tag)
+                (Staged.stage (bench_msgnet_recovery ~indexed:true ~regime ~n ()));
               Test.make
-                ~name:(Printf.sprintf "msgnet-recovery-naive/ring%d" n)
-                (Staged.stage (bench_msgnet_recovery ~indexed:false ~n ()));
+                ~name:(Printf.sprintf "msgnet-recovery-naive/ring%d/%s" n tag)
+                (Staged.stage
+                   (bench_msgnet_recovery ~indexed:false ~regime ~n ()));
             ])
-          [ 16; 64; 256 ])
+          [
+            (16, `Tight, "tight");
+            (64, `Tight, "tight");
+            (16, `Adaptive, "adaptive");
+            (64, `Adaptive, "adaptive");
+            (256, `Adaptive, "adaptive");
+          ])
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
@@ -536,6 +707,7 @@ let micro_benchmarks () =
   let msgnet_table = bench_table "msgnet micro-benchmarks" msgnet in
   List.iter (Table.add engine_table) (parallel_sweep ());
   List.iter (Table.add engine_table) (memory_rows ());
+  List.iter (Table.add msgnet_table) (msgnet_scale_rows ());
   emit_json "BENCH_engine.json" "engine micro-benchmarks" engine_table;
   emit_json "BENCH_msgnet.json" "msgnet micro-benchmarks" msgnet_table;
   (* The chaos grid rides along: scenario × algorithm × graph, fully
@@ -563,6 +735,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let has flag = Array.exists (fun a -> a = flag) Sys.argv in
   if has "--bigrun" then bigrun ()
+  else if has "--msgnet-bigrun" then msgnet_bigrun ()
   else begin
     if not (has "--micro") then experiment_tables ();
     micro_benchmarks ()

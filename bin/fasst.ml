@@ -432,7 +432,8 @@ let msgnet_cmd =
     (Cmd.info "msgnet"
        ~doc:
          "Run the message-passing realization (mirrors, heartbeat proofs, \
-          delta encoding) end-to-end and report traffic.")
+          delta encoding) end-to-end and report traffic plus the wire-memory \
+          figures (peak in-flight bits, resident mirror bytes).")
     Term.(const msgnet_run $ jobs_arg $ json_arg $ seed_arg $ seeds_arg)
 
 let baselines_run jobs json seed seeds =
@@ -606,7 +607,8 @@ let sim_cmd =
          "Run deterministic chaos-mode simulations: scenario × algorithm × \
           graph grids with message drop/reorder/duplicate injection, mid-run \
           state corruption, per-event invariant checks against the fault-free \
-          reference twin, and virtual-clock budgets.  Byte-identical output \
+          reference twin, and virtual-clock budgets.  Message rows report \
+          peak in-flight wire bits ($(b,wirepeak)).  Byte-identical output \
           for any seed across runs and $(b,-j) values; exits non-zero if any \
           cell fails to re-stabilize.")
     term

@@ -70,6 +70,12 @@ let algo =
     pp_state;
   }
 
+let codec =
+  Ss_core.Cellpack.map
+    ~inj:(fun s -> (s.color, s.round))
+    ~prj:(fun (color, round) -> { color; round })
+    (Ss_core.Cellpack.pair Ss_core.Cellpack.int_codec Ss_core.Cellpack.int_codec)
+
 let inputs ~ids ~width _g p = { id = ids p; width; schedule = schedule_length width }
 
 let random_ring_ids rng ~n ~width =

@@ -36,6 +36,10 @@ val reduce : own:int -> pred:int -> int
     on (illegal) equal colors, for corrupted-cell robustness.  Exposed
     for algorithms composing with the coloring ({!Ring_mis}). *)
 
+val codec : state Ss_core.Cellpack.codec
+(** Two-word packed layout [(color, round)] — packed arenas and the
+    message network's int-packed delta channels. *)
+
 val algo : (state, input) Ss_sync.Sync_algo.t
 (** The synchronous algorithm.  Every node must have degree 2 with
     port 0 its clockwise and port 1 its counterclockwise neighbor

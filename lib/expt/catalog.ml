@@ -146,7 +146,7 @@ let algorithms =
               sync = A.algo;
               inputs = A.inputs ~ids ~width g;
               spec = (fun final -> A.spec_holds g ~final);
-              codec = None;
+              codec = Some A.codec;
             });
     };
     {

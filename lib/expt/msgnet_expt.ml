@@ -13,12 +13,15 @@ let rows ?(seeds = [ 1; 2 ]) rng =
      (the shared Ss_energy.Energy accounting: proofs cost hash + nonce,
      requests cost Energy.request_message_bits each).  "stale" counts
      proofs from superseded waves dropped without comparison. *)
+  (* wire-peak-bits is the high-water mark of in-flight bits across all
+     channels; mirror-bytes the resident bytes behind the 2m mirrors —
+     the two wire-memory figures a deployment provisions against. *)
   let table =
     Table.create
       [
         "graph"; "n"; "encoding"; "execs"; "deliveries"; "update-bits";
         "proof-bits"; "request-bits"; "repair-bits"; "total-bits"; "stale";
-        "ok";
+        "wire-peak-bits"; "mirror-bytes"; "ok";
       ]
   in
   let workloads =
@@ -63,6 +66,8 @@ let rows ?(seeds = [ 1; 2 ]) rng =
          and repair_bits = ref 0
          and total = ref 0
          and stale = ref 0
+         and wire_peak = ref 0
+         and mirror_bytes = ref 0
          and ok = ref true in
          List.iter
            (fun seed ->
@@ -73,7 +78,12 @@ let rows ?(seeds = [ 1; 2 ]) rng =
                  params
                  (Transformer.clean_config params g ~inputs)
              in
-             let final, stats = M.run ~encoding ~rng:seed_rng params start in
+             (* Leader's codec switches the proof pre-images to the
+                packed encoder; the infinite bound keeps the mirrors
+                boxed, so the traffic columns are unchanged. *)
+             let final, stats =
+               M.run ~codec:Leader.codec ~encoding ~rng:seed_rng params start
+             in
              execs := max !execs stats.M.rule_executions;
              deliveries := max !deliveries stats.M.deliveries;
              update_bits := max !update_bits stats.M.update_bits;
@@ -85,6 +95,8 @@ let rows ?(seeds = [ 1; 2 ]) rng =
              repair_bits := max !repair_bits stats.M.full_copy_bits;
              total := max !total (M.total_bits stats);
              stale := max !stale stats.M.stale_proof_messages;
+             wire_peak := max !wire_peak stats.M.peak_queued_bits;
+             mirror_bytes := max !mirror_bytes stats.M.mirror_bytes;
              ok :=
                !ok && stats.M.quiescent
                && Checker.legitimate_terminal params hist final = Ok ())
@@ -103,6 +115,8 @@ let rows ?(seeds = [ 1; 2 ]) rng =
            Table.I !repair_bits;
            Table.I !total;
            Table.I !stale;
+           Table.I !wire_peak;
+           Table.I !mirror_bytes;
            Table.S (if !ok then "yes" else "NO");
          ])
        tasks);

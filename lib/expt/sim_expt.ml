@@ -28,6 +28,10 @@ type workload =
       params : ('s, 'i) Transformer.params;
       inputs : int -> 'i;
       hist : ('s, 'i) Sync_runner.history;
+      codec : 's Ss_core.Cellpack.codec option;
+          (* When the algorithm exports one, the msgnet leg runs with
+             codec proof pre-images and (the grid bound being finite)
+             packed mirrors — the production configuration. *)
     }
       -> workload
 
@@ -41,11 +45,11 @@ let workload rng ~algo ~graph_name graph =
   | Ok () -> ()
   | Error e -> failwith e);
   match a.Catalog.instantiate rng graph with
-  | Catalog.Inst { sync; inputs; spec = _; codec = _ } ->
+  | Catalog.Inst { sync; inputs; spec = _; codec } ->
       let hist = Sync_runner.run sync graph ~inputs in
       let b = max 1 hist.Sync_runner.t in
       let params = Transformer.params ~mode:P.Greedy ~bound:(P.Finite b) sync in
-      W { algo_name = algo; graph_name; graph; params; inputs; hist }
+      W { algo_name = algo; graph_name; graph; params; inputs; hist; codec }
 
 let algo_names = Catalog.sim_algo_names ()
 
@@ -55,10 +59,12 @@ let algo_names = Catalog.sim_algo_names ()
    trip. *)
 let virtual_deadline_s = 100.
 
+(* "wirepeak" is the msgnet leg's peak in-flight wire bits (engine rows
+   read 0: the atomic-state engine has no wire). *)
 let headers =
   [
     "scenario"; "algo"; "graph"; "n"; "loop"; "moves"; "events"; "drops";
-    "dups"; "reorders"; "corrupt"; "stale"; "ok";
+    "dups"; "reorders"; "corrupt"; "stale"; "wirepeak"; "ok";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -116,8 +122,8 @@ let engine_leg (type s i) ~scenario ~seed ~(params : (s, i) Transformer.params)
    monotone), and the fault-free naive twin as ground truth for the
    final outputs. *)
 let msgnet_leg (type s i) ~scenario ~seed ~(params : (s, i) Transformer.params)
-    ~(inputs : int -> i) ~(hist : (s, i) Sync_runner.history) ~max_height ~rng
-    ~naive_rng start =
+    ~(inputs : int -> i) ~(hist : (s, i) Sync_runner.history) ~max_height
+    ~(codec : s Ss_core.Cellpack.codec option) ~rng ~naive_rng start =
   let clk = Clock.create () in
   let sent = ref 0
   and delivered = ref 0
@@ -156,7 +162,7 @@ let msgnet_leg (type s i) ~scenario ~seed ~(params : (s, i) Transformer.params)
     }
   in
   let final, stats =
-    M.run
+    M.run ?codec
       ~budget:(Budget.v ~deadline_s:virtual_deadline_s ())
       ~now:(Clock.now_fn clk) ~chaos ~sinks:[ sink ] ~rng params start
   in
@@ -196,6 +202,7 @@ let cell_rows ~seeds (scenario, W w) =
   and m_reorders = ref 0
   and m_corrupt = ref 0
   and m_stale = ref 0
+  and m_wirepeak = ref 0
   and m_ok = ref true in
   List.iter
     (fun seed ->
@@ -220,7 +227,7 @@ let cell_rows ~seeds (scenario, W w) =
       e_ok := !e_ok && ok;
       let mstats, mok =
         msgnet_leg ~scenario ~seed ~params:w.params ~inputs:w.inputs
-          ~hist:w.hist ~max_height ~rng:(Rng.split seed_rng)
+          ~hist:w.hist ~max_height ~codec:w.codec ~rng:(Rng.split seed_rng)
           ~naive_rng:(Rng.split seed_rng) start
       in
       m_execs := max !m_execs mstats.M.rule_executions;
@@ -230,9 +237,10 @@ let cell_rows ~seeds (scenario, W w) =
       m_reorders := max !m_reorders mstats.M.reordered_messages;
       m_corrupt := max !m_corrupt mstats.M.corruption_events;
       m_stale := max !m_stale mstats.M.stale_proof_messages;
+      m_wirepeak := max !m_wirepeak mstats.M.peak_queued_bits;
       m_ok := !m_ok && mok)
     seeds;
-  let row loop moves events drops dups reorders corrupt stale ok =
+  let row loop moves events drops dups reorders corrupt stale wirepeak ok =
     [
       Table.S scenario.Scenario.name;
       Table.S w.algo_name;
@@ -246,13 +254,14 @@ let cell_rows ~seeds (scenario, W w) =
       Table.I reorders;
       Table.I corrupt;
       Table.I stale;
+      Table.I wirepeak;
       Table.S (if ok then "yes" else "NO");
     ]
   in
   [
-    row "engine" !e_moves !e_steps 0 0 0 !e_corrupt 0 !e_ok;
+    row "engine" !e_moves !e_steps 0 0 0 !e_corrupt 0 0 !e_ok;
     row "msgnet" !m_execs !m_events !m_drops !m_dups !m_reorders !m_corrupt
-      !m_stale !m_ok;
+      !m_stale !m_wirepeak !m_ok;
   ]
 
 (* ------------------------------------------------------------------ *)

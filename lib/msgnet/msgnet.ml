@@ -3,6 +3,7 @@ module Algorithm = Ss_sim.Algorithm
 module Config = Ss_sim.Config
 module Sync_algo = Ss_sync.Sync_algo
 module St = Ss_core.Trans_state
+module Cellpack = Ss_core.Cellpack
 module Transformer = Ss_core.Registry.Trans
 module Energy = Ss_energy.Energy
 module Rng = Ss_prelude.Rng
@@ -21,6 +22,8 @@ type 's message =
   | Full_copy of 's St.t
 
 type msg_kind = K_update | K_proof | K_request | K_full_copy
+
+type layout = [ `Auto | `Packed | `Boxed ]
 
 type event =
   | Sent of { src : int; dst : int; kind : msg_kind; bits : int }
@@ -54,6 +57,8 @@ type stats = {
   reordered_messages : int;
   duplicated_messages : int;
   corruption_events : int;
+  peak_queued_bits : int;
+  mirror_bytes : int;
   quiescent : bool;
   outcome : Budget.outcome;
 }
@@ -116,15 +121,29 @@ let delta_of_move rule_name new_state =
 let canonical_bytes (st : _ St.t) =
   Marshal.to_string (St.snapshot st) [ Marshal.No_sharing ]
 
-let apply_delta mirror = function
-  | D_rr -> St.wipe mirror
-  | D_rp i ->
-      (* A corrupted mirror may be shorter than the sender's list; a
-         total best-effort truncation keeps the protocol running until
-         a proof exchange repairs the copy. *)
-      St.with_status (St.truncate mirror (min i (St.height mirror))) St.E
-  | D_rc -> St.with_status mirror St.C
-  | D_ru s -> St.extend mirror s
+(* Codec proof pre-image: the same logical content (status, init,
+   cells in order) written through the algorithm's fixed-width
+   {!Cellpack} codec into a reusable buffer — no boxed snapshot, no
+   Marshal walk.  Equality agreement with [canonical_bytes] is what
+   the proof protocol needs, and holds by construction: the byte
+   length determines the height, the first byte the status, and
+   [unpack] after [pack] reproducing the state makes the per-cell
+   word image injective — so equal bytes iff equal snapshots. *)
+let codec_bytes_into (c : 's Cellpack.codec) buf cscratch (st : 's St.t) =
+  Buffer.clear buf;
+  Buffer.add_char buf (match St.status st with St.C -> 'C' | St.E -> 'E');
+  let add s =
+    c.Cellpack.pack cscratch 0 s;
+    for w = 0 to c.Cellpack.words - 1 do
+      Buffer.add_int64_le buf (Int64.of_int cscratch.(w))
+    done
+  in
+  add (St.init st);
+  St.fold_cells (fun () s -> add s) () st;
+  Buffer.contents buf
+
+let codec_bytes c st =
+  codec_bytes_into c (Buffer.create 64) (Array.make c.Cellpack.words 0) st
 
 (* A delta's wire size is derivable from the delta alone: D_ru carries
    the new top cell, whose size is the sync algorithm's state_bits. *)
@@ -139,9 +158,22 @@ let kind_of_message = function
   | Request -> K_request
   | Full_copy _ -> K_full_copy
 
-let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
-    ?(proof = Energy.default_proof_cost) ?heartbeat_every ?now ?chaos ~rng
-    ?(corrupt_mirrors = true) ?(sinks = []) params config =
+(* Ring-record tags.  Every indexed channel is a {!Ringbuf} of int
+   records: [tag_boxed] records park their payload (a message variant
+   the codec cannot flatten) in a lazily created per-channel side
+   queue whose order mirrors the tagged records' order in the ring. *)
+let tag_request = 0
+
+let tag_proof = 1
+let tag_rr = 2
+let tag_rc = 3
+let tag_rp = 4
+let tag_ru = 5
+let tag_boxed = 6
+
+let run_impl ~indexed ?codec ?(layout = `Auto) ?(encoding = Delta) ?budget
+    ?max_events ?(proof = Energy.default_proof_cost) ?heartbeat_every ?now
+    ?chaos ~rng ?(corrupt_mirrors = true) ?(sinks = []) params config =
   let g = config.Config.graph in
   let n = Config.n config in
   let sync = params.Transformer.sync in
@@ -157,7 +189,6 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
   let deadline = Budget.deadline_check ?now b in
   let observing = sinks <> [] in
   let emit ev = List.iter (fun s -> s ev) sinks in
-  let serialize = canonical_bytes in
   let proof_msg_bits = Energy.proof_message_bits proof in
   (* Each wave enqueues one proof per directed link (2m messages) while
      the timer fires every [heartbeat_every] *deliveries*: a period at
@@ -171,48 +202,6 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     | None -> max 400 (4 * Graph.m g)
   in
 
-  (* Mirrors: mirrors.(v).(k) is v's belief about its port-k neighbor. *)
-  let mirrors =
-    Array.init n (fun v ->
-        Array.map
-          (fun u ->
-            if corrupt_mirrors then
-              Transformer.corrupt_state rng
-                ~max_height:(St.height states.(u) + 4)
-                params (Config.input config u) states.(u)
-            else states.(u))
-          (Graph.neighbors g v))
-  in
-
-  (* Proof pre-images, memoized.  Serializing a transformer state is
-     far more expensive than hashing it, and proof waves keep re-proving
-     states and mirrors that have not changed since the previous wave —
-     so cache the serialization and invalidate on write. *)
-  let state_ser = Array.make n None in
-  let serialize_state v =
-    match state_ser.(v) with
-    | Some s -> s
-    | None ->
-        let s = serialize states.(v) in
-        state_ser.(v) <- Some s;
-        s
-  in
-  let mirror_ser =
-    Array.map (fun row -> Array.make (Array.length row) None) mirrors
-  in
-  let serialize_mirror v port =
-    match mirror_ser.(v).(port) with
-    | Some s -> s
-    | None ->
-        let s = serialize mirrors.(v).(port) in
-        mirror_ser.(v).(port) <- Some s;
-        s
-  in
-  let set_mirror v port st =
-    mirrors.(v).(port) <- st;
-    mirror_ser.(v).(port) <- None
-  in
-
   (* Directed FIFO channels, indexed densely: channel [chan_of.(u).(i)]
      carries u's messages to its port-i neighbor.  [chan_dst_port] is
      the receiver-side port (precomputed via Graph.port_table — no
@@ -222,7 +211,6 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
   let chan_dst = Array.make (max 1 nchan) 0 in
   let chan_src = Array.make (max 1 nchan) 0 in
   let chan_dst_port = Array.make (max 1 nchan) 0 in
-  let chan_q = Array.init (max 1 nchan) (fun _ -> Queue.create ()) in
   let chan_of =
     let ports = Graph.port_table g in
     let next = ref 0 in
@@ -237,9 +225,32 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
             id)
           (Graph.neighbors g u))
   in
-  (* The naive reference path keeps the original (u, v)-keyed hash
-     table so its selection reproduces what every event paid before
-     the indexed scheduler existed. *)
+  (* Indexed channel storage: one flat int ring per directed link, plus
+     a lazily allocated boxed side queue for the message variants that
+     cannot be int-packed (full states, and D_ru without a codec). *)
+  let rings =
+    if indexed then Array.init (max 1 nchan) (fun _ -> Ringbuf.create ())
+    else [||]
+  in
+  let side : 's message Queue.t option array =
+    if indexed then Array.make (max 1 nchan) None else [||]
+  in
+  let side_q cid =
+    match side.(cid) with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        side.(cid) <- Some q;
+        q
+  in
+  (* The naive reference path keeps the historical per-channel boxed
+     queues and the original (u, v)-keyed hash table, so its selection
+     and storage reproduce what every event paid before the indexed
+     scheduler existed. *)
+  let chan_q =
+    if indexed then [||]
+    else Array.init (max 1 nchan) (fun _ -> Queue.create ())
+  in
   let naive_channels = Hashtbl.create (if indexed then 1 else 4 * Graph.m g) in
   if not indexed then
     Array.iteri
@@ -249,21 +260,139 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
           (fun i cid -> Hashtbl.replace naive_channels (u, nbrs.(i)) cid)
           row)
       chan_of;
+  let chan_queue cid =
+    chan_q.(Hashtbl.find naive_channels (chan_src.(cid), chan_dst.(cid)))
+  in
 
   (* The non-empty-channel set, maintained on every send/deliver so the
      indexed path picks a random pending link in O(1) instead of
      rescanning all 2m channels per event. *)
   let active = Chanset.create nchan in
-  (* The original code kept channels in a (u, v)-keyed hash table and
-     paid one tuple-keyed lookup per send and per delivery; the naive
-     reference path keeps that cost (and skips the Chanset upkeep it
-     never consults). *)
-  let chan_queue cid =
-    if indexed then chan_q.(cid)
-    else chan_q.(Hashtbl.find naive_channels (chan_src.(cid), chan_dst.(cid)))
+
+  (* Mirror layout.  Under the engine's --layout policy: [`Packed]
+     requires a codec and a finite bound (each of the 2m mirrors lives
+     in the slot of one Cellpack arena, indexed by the owner's outgoing
+     channel id — the same dense (node, port) numbering the channels
+     use); [`Auto] packs exactly when both are available; [`Boxed]
+     keeps the historical per-mirror buffers.  The packed arena caps a
+     mirror at B cells — chaos can starve a mirror of its RR reset and
+     drift it past B, so over-tall contents fall back to boxed handles
+     until a full-state install re-packs the slot. *)
+  let marena =
+    let finite =
+      match params.Transformer.bound with
+      | Ss_core.Predicates.Finite b -> Some b
+      | Ss_core.Predicates.Infinite -> None
+    in
+    match (layout, codec, finite) with
+    | `Boxed, _, _ -> None
+    | `Auto, Some c, Some cap when nchan > 0 ->
+        Some (Cellpack.arena ~codec:c ~n:nchan ~cap)
+    | `Auto, _, _ -> None
+    | `Packed, None, _ -> invalid_arg "Msgnet.run: packed layout needs a codec"
+    | `Packed, Some _, None ->
+        invalid_arg "Msgnet.run: packed layout needs a finite bound"
+    | `Packed, Some c, Some cap ->
+        if nchan = 0 then None else Some (Cellpack.arena ~codec:c ~n:nchan ~cap)
   in
+  (* [install v port src] stores [src]'s logical content as v's port
+     mirror: packed into the arena slot when it fits, the boxed handle
+     itself otherwise.  Rebuilding through a fresh [packed_clean]
+     handle is safe even when the previous slot holder was boxed or
+     stale — it only writes the slab and mints a fresh lineage. *)
+  let install v port src =
+    match marena with
+    | Some a when St.height src <= Cellpack.cap a ->
+        St.rebuild
+          (St.packed_clean a ~node:chan_of.(v).(port) ~init:(St.init src))
+          ~status:(St.status src) ~cells:(St.cells src)
+    | _ -> src
+  in
+  (* Mirrors: mirrors.(v).(k) is v's belief about its port-k neighbor. *)
+  let mirrors =
+    Array.init n (fun v ->
+        Array.mapi
+          (fun i u ->
+            install v i
+              (if corrupt_mirrors then
+                 Transformer.corrupt_state rng
+                   ~max_height:(St.height states.(u) + 4)
+                   params (Config.input config u) states.(u)
+               else states.(u)))
+          (Graph.neighbors g v))
+  in
+  (* Extend a mirror by a delivered D_ru cell.  A packed mirror at the
+     arena bound boxes itself instead of raising: with faulty channels
+     a dropped D_rr can leave a mirror growing without its reset, and
+     the protocol must keep running until a proof wave repairs it. *)
+  let mirror_extend m s =
+    match St.backing_arena m with
+    | Some a when St.height m >= Cellpack.cap a ->
+        St.extend
+          (St.make ~init:(St.init m) ~status:(St.status m) ~cells:(St.cells m))
+          s
+    | _ -> St.extend m s
+  in
+  let apply_delta mirror = function
+    | D_rr -> St.wipe mirror
+    | D_rp i ->
+        (* A corrupted mirror may be shorter than the sender's list; a
+           total best-effort truncation keeps the protocol running until
+           a proof exchange repairs the copy. *)
+        St.with_status (St.truncate mirror (min i (St.height mirror))) St.E
+    | D_rc -> St.with_status mirror St.C
+    | D_ru s -> mirror_extend mirror s
+  in
+
+  (* Proof pre-images, memoized by the §10 version stamp: serializing
+     a transformer state is far more expensive than hashing it, and
+     proof waves keep re-proving states and mirrors that have not
+     changed since the previous wave.  A state's stamp only matches
+     the memo's when the entry was computed from that very
+     construction, so a hit can never serve stale bytes — and no
+     write-path invalidation hook is needed at all.  The encoder is
+     the algorithm's codec when one is given (reusable buffer, no
+     boxed snapshot), the Marshal reference otherwise. *)
+  let encode =
+    match codec with
+    | Some c ->
+        let buf = Buffer.create 64 in
+        let cscratch = Array.make c.Cellpack.words 0 in
+        fun st -> codec_bytes_into c buf cscratch st
+    | None -> canonical_bytes
+  in
+  let state_ser = Array.make (max 1 n) "" in
+  let state_ser_stamp = Array.make (max 1 n) (-1) in
+  let serialize_state v =
+    let st = states.(v) in
+    let k = St.stamp st in
+    if state_ser_stamp.(v) = k then state_ser.(v)
+    else begin
+      let s = encode st in
+      state_ser_stamp.(v) <- k;
+      state_ser.(v) <- s;
+      s
+    end
+  in
+  (* Mirror memo, dense over the same (node, port) channel numbering. *)
+  let mirror_ser = Array.make (max 1 nchan) "" in
+  let mirror_ser_stamp = Array.make (max 1 nchan) (-1) in
+  let serialize_mirror v port =
+    let id = chan_of.(v).(port) in
+    let st = mirrors.(v).(port) in
+    let k = St.stamp st in
+    if mirror_ser_stamp.(id) = k then mirror_ser.(id)
+    else begin
+      let s = encode st in
+      mirror_ser_stamp.(id) <- k;
+      mirror_ser.(id) <- s;
+      s
+    end
+  in
+  let set_mirror v port st = mirrors.(v).(port) <- st in
+
   (* One wire-size accounting for every message kind, shared by the
-     counters and the event sinks. *)
+     counters, the event sinks and the queued-bits watermark. *)
   let message_bits = function
     | Update_full s -> Energy.full_state_bits sync s
     | Update_delta d -> delta_bits params d
@@ -271,9 +400,90 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     | Request -> Energy.request_message_bits
     | Full_copy s -> Energy.full_state_bits sync s
   in
-  let send cid msg =
-    let q = chan_queue cid in
-    if indexed && Queue.is_empty q then Chanset.add active cid;
+  (* Peak in-flight wire load: bits enter on send, leave on delivery
+     or drop (a duplicate's surviving copy never left).  The watermark
+     is the protocol's bufferbloat figure at quiescence-free periods —
+     reported as [peak_queued_bits]. *)
+  let queued_bits = ref 0 in
+  let peak_queued_bits = ref 0 in
+  let account_send bits =
+    queued_bits := !queued_bits + bits;
+    if !queued_bits > !peak_queued_bits then peak_queued_bits := !queued_bits
+  in
+  let account_drain bits = queued_bits := !queued_bits - bits in
+
+  (* Indexed wire codec: flatten a message into [rscratch] and push it
+     on the channel's ring.  Proofs split their 64-bit hash into two
+     32-bit words plus the nonce; deltas carry the rule tag and, with
+     a codec, the int-packed payload cell.  Anything else parks the
+     variant in the side queue behind a [tag_boxed] record. *)
+  let rscratch =
+    let cwords = match codec with Some c -> c.Cellpack.words | None -> 0 in
+    Array.make (max 4 (1 + cwords)) 0
+  in
+  let encode_push cid msg =
+    let r = rings.(cid) in
+    match msg with
+    | Request ->
+        rscratch.(0) <- tag_request;
+        Ringbuf.push r rscratch 1
+    | Proof (h, pn) ->
+        rscratch.(0) <- tag_proof;
+        rscratch.(1) <- Int64.to_int (Int64.logand h 0xFFFF_FFFFL);
+        rscratch.(2) <- Int64.to_int (Int64.shift_right_logical h 32);
+        rscratch.(3) <- Int64.to_int pn;
+        Ringbuf.push r rscratch 4
+    | Update_delta D_rr ->
+        rscratch.(0) <- tag_rr;
+        Ringbuf.push r rscratch 1
+    | Update_delta D_rc ->
+        rscratch.(0) <- tag_rc;
+        Ringbuf.push r rscratch 1
+    | Update_delta (D_rp i) ->
+        rscratch.(0) <- tag_rp;
+        rscratch.(1) <- i;
+        Ringbuf.push r rscratch 2
+    | Update_delta (D_ru s) as boxed -> (
+        match codec with
+        | Some c ->
+            rscratch.(0) <- tag_ru;
+            c.Cellpack.pack rscratch 1 s;
+            Ringbuf.push r rscratch (1 + c.Cellpack.words)
+        | None ->
+            rscratch.(0) <- tag_boxed;
+            Ringbuf.push r rscratch 1;
+            Queue.push boxed (side_q cid))
+    | (Update_full _ | Full_copy _) as boxed ->
+        rscratch.(0) <- tag_boxed;
+        Ringbuf.push r rscratch 1;
+        Queue.push boxed (side_q cid)
+  in
+  (* [rscratch] holds the head record; [popped] tells the side queue
+     whether to consume or only peek its aligned boxed payload. *)
+  let decode_scratch cid ~popped =
+    match rscratch.(0) with
+    | 0 -> Request
+    | 1 ->
+        let h =
+          Int64.logor
+            (Int64.of_int rscratch.(1))
+            (Int64.shift_left (Int64.of_int rscratch.(2)) 32)
+        in
+        Proof (h, Int64.of_int rscratch.(3))
+    | 2 -> Update_delta D_rr
+    | 3 -> Update_delta D_rc
+    | 4 -> Update_delta (D_rp rscratch.(1))
+    | 5 -> (
+        match codec with
+        | Some c -> Update_delta (D_ru (c.Cellpack.unpack rscratch 1))
+        | None -> assert false (* tag_ru is only pushed with a codec *))
+    | _ ->
+        let q = side_q cid in
+        if popped then Queue.pop q else Queue.peek q
+  in
+
+  let send cid msg bits =
+    account_send bits;
     if observing then
       emit
         (Sent
@@ -281,9 +491,33 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
              src = chan_src.(cid);
              dst = chan_dst.(cid);
              kind = kind_of_message msg;
-             bits = message_bits msg;
+             bits;
            });
-    Queue.push msg q
+    if indexed then begin
+      if Ringbuf.is_empty rings.(cid) then Chanset.add active cid;
+      encode_push cid msg
+    end
+    else Queue.push msg (chan_queue cid)
+  in
+  let pop_head cid =
+    if indexed then begin
+      ignore (Ringbuf.pop rings.(cid) rscratch);
+      let msg = decode_scratch cid ~popped:true in
+      if Ringbuf.is_empty rings.(cid) then Chanset.remove active cid;
+      msg
+    end
+    else Queue.pop (chan_queue cid)
+  in
+  let peek_head cid =
+    if indexed then begin
+      ignore (Ringbuf.peek rings.(cid) rscratch);
+      decode_scratch cid ~popped:false
+    end
+    else Queue.peek (chan_queue cid)
+  in
+  let chan_pending cid =
+    if indexed then Ringbuf.records rings.(cid)
+    else Queue.length (chan_queue cid)
   in
 
   (* Reference (naive) selection: exactly what every event paid before
@@ -315,9 +549,32 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
           | Full_state -> Update_full new_state
           | Delta -> Update_delta (delta_of_move rule_name new_state)
         in
-        c.update_bits <- c.update_bits + message_bits msg;
-        send chan_of.(v).(i) msg)
+        let bits = message_bits msg in
+        c.update_bits <- c.update_bits + bits;
+        send chan_of.(v).(i) msg bits)
       nbrs
+  in
+
+  (* Enabled-candidate set (indexed path): the nodes whose own state or
+     some mirror changed since their guards were last found disabled —
+     a superset of the enabled nodes, kept dense so the drained-channel
+     scheduler picks in O(1) amortized instead of scanning all n
+     guards per event (the engine's dirty-set discipline, §7).  Nodes
+     start as candidates; [act] settles a node's membership (kept only
+     when its safety budget ran out while rules might still fire), and
+     a rejected pick is removed for good until its next write. *)
+  let candidates = Chanset.create (if indexed then n else 0) in
+  if indexed then
+    for v = 0 to n - 1 do
+      Chanset.add candidates v
+    done;
+
+  let view_of v =
+    {
+      Algorithm.input = Config.input config v;
+      self = states.(v);
+      neighbors = mirrors.(v);
+    }
   in
 
   (* Local step: act on own state + mirrors until no rule is enabled
@@ -328,22 +585,19 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     let continue = ref true in
     while !continue && !budget > 0 do
       decr budget;
-      let view =
-        {
-          Algorithm.input = Config.input config v;
-          self = states.(v);
-          neighbors = mirrors.(v);
-        }
-      in
-      match Algorithm.enabled_rule algo view with
+      match Algorithm.enabled_rule algo (view_of v) with
       | None -> continue := false
       | Some rule ->
-          let new_state = rule.Algorithm.action view in
+          let new_state = rule.Algorithm.action (view_of v) in
           states.(v) <- new_state;
-          state_ser.(v) <- None;
           c.rule_executions <- c.rule_executions + 1;
           broadcast_move v new_state rule.Algorithm.rule_name
-    done
+    done;
+    (* [!continue] here means the safety budget ran out first: the node
+       may still be enabled, so it must stay pickable. *)
+    if indexed then
+      if !continue then Chanset.add candidates v
+      else Chanset.remove candidates v
   in
 
   (* Wave nonce.  Proofs carry the nonce of the wave that hashed them;
@@ -382,7 +636,7 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     in
     match msg with
     | Update_full s ->
-        set_mirror v port s;
+        set_mirror v port (install v port s);
         act v
     | Update_delta d ->
         set_mirror v port (apply_delta mirrors.(v).(port) d);
@@ -394,22 +648,21 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
         then begin
           c.request_messages <- c.request_messages + 1;
           c.requests_in_wave <- c.requests_in_wave + 1;
-          send chan_of.(v).(port) Request
+          send chan_of.(v).(port) Request Energy.request_message_bits
         end
     | Request ->
+        let fb = Energy.full_state_bits sync states.(v) in
         c.full_copy_messages <- c.full_copy_messages + 1;
-        c.full_copy_bits <-
-          c.full_copy_bits + Energy.full_state_bits sync states.(v);
-        send chan_of.(v).(port) (Full_copy states.(v))
+        c.full_copy_bits <- c.full_copy_bits + fb;
+        send chan_of.(v).(port) (Full_copy states.(v)) fb
     | Full_copy s ->
-        set_mirror v port s;
+        set_mirror v port (install v port s);
         act v
   in
 
   let deliver cid =
-    let q = chan_queue cid in
-    let msg = Queue.pop q in
-    if indexed && Queue.is_empty q then Chanset.remove active cid;
+    let msg = pop_head cid in
+    account_drain (message_bits msg);
     process cid msg
   in
 
@@ -420,9 +673,8 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
      when the queue holds a single message, where it degenerates to a
      plain delivery). *)
   let chaos_drop cid =
-    let q = chan_queue cid in
-    let msg = Queue.pop q in
-    if indexed && Queue.is_empty q then Chanset.remove active cid;
+    let msg = pop_head cid in
+    account_drain (message_bits msg);
     c.dropped <- c.dropped + 1;
     chaos_hit ();
     if observing then
@@ -435,7 +687,7 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
            })
   in
   let chaos_duplicate cid =
-    let msg = Queue.peek (chan_queue cid) in
+    let msg = peek_head cid in
     c.duplicated <- c.duplicated + 1;
     chaos_hit ();
     if observing then
@@ -449,11 +701,22 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     process cid msg
   in
   let chaos_reorder cid =
-    let q = chan_queue cid in
-    if Queue.length q < 2 then deliver cid
+    if chan_pending cid < 2 then deliver cid
     else begin
-      let msg = Queue.pop q in
-      Queue.push msg q;
+      if indexed then begin
+        (* Rotate the raw record; a boxed payload rotates with it so
+           the side queue stays aligned with its ring markers. *)
+        let len = Ringbuf.pop rings.(cid) rscratch in
+        Ringbuf.push rings.(cid) rscratch len;
+        if rscratch.(0) = tag_boxed then begin
+          let q = side_q cid in
+          Queue.push (Queue.pop q) q
+        end
+      end
+      else begin
+        let q = chan_queue cid in
+        Queue.push (Queue.pop q) q
+      end;
       c.reordered <- c.reordered + 1;
       chaos_hit ();
       if observing then
@@ -461,23 +724,39 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     end
   in
 
-  let node_scratch = Array.make n 0 in
+  (* Reference (naive) enabled pick: the full O(n) guard scan the
+     original code paid on every drained-channel event. *)
+  let node_scratch = Array.make (max 1 n) 0 in
   let pick_enabled_on_mirrors () =
-    let k = ref 0 in
-    for v = 0 to n - 1 do
-      let view =
-        {
-          Algorithm.input = Config.input config v;
-          self = states.(v);
-          neighbors = mirrors.(v);
-        }
+    if indexed then begin
+      (* Rejection sampling over the candidate superset: each draw is
+         uniform over the remaining candidates, and a disabled draw is
+         removed for good (it re-enters on its next state or mirror
+         write via [act]), so the accepted node is uniform over the
+         enabled set and the scan cost is amortized against writes. *)
+      let rec go () =
+        if Chanset.is_empty candidates then -1
+        else begin
+          let v = Chanset.pick candidates rng in
+          if Algorithm.is_enabled algo (view_of v) then v
+          else begin
+            Chanset.remove candidates v;
+            go ()
+          end
+        end
       in
-      if Algorithm.is_enabled algo view then begin
-        node_scratch.(!k) <- v;
-        incr k
-      end
-    done;
-    if !k = 0 then -1 else node_scratch.(Rng.int rng !k)
+      go ()
+    end
+    else begin
+      let k = ref 0 in
+      for v = 0 to n - 1 do
+        if Algorithm.is_enabled algo (view_of v) then begin
+          node_scratch.(!k) <- v;
+          incr k
+        end
+      done;
+      if !k = 0 then -1 else node_scratch.(Rng.int rng !k)
+    end
   in
 
   (* [at] is the event index firing the wave, recorded so the periodic
@@ -498,7 +777,7 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
           (fun cid ->
             c.proof_messages <- c.proof_messages + 1;
             c.proof_bits_total <- c.proof_bits_total + proof_msg_bits;
-            send cid (Proof (h, !nonce)))
+            send cid (Proof (h, !nonce)) proof_msg_bits)
           chan_of.(v))
   in
 
@@ -508,15 +787,16 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     else begin
       (* Scheduled transient corruption: mutate a victim's real state
          mid-run, exactly as §3's arbitrary-configuration premise
-         allows.  The serialization cache must be invalidated or the
-         next wave would prove the pre-corruption bytes. *)
+         allows.  The stamp-keyed serialization memo misses on the
+         fresh construction by itself; the victim's guards must be
+         re-examined, so it re-enters the candidate set. *)
       (match chaos with
       | Some ch when Ss_chaos.Fault_plan.corruption_due ch.plan ~event:events
         ->
           let crng = Ss_chaos.Fault_plan.rng ch.plan in
           let victim = Rng.int crng n in
           states.(victim) <- ch.mutate crng victim states.(victim);
-          state_ser.(victim) <- None;
+          if indexed then Chanset.add candidates victim;
           c.corruptions <- c.corruptions + 1;
           chaos_hit ();
           if observing then emit (Corrupted { node = victim })
@@ -569,6 +849,23 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
     end
   in
   let outcome = loop 0 in
+  (* Resident mirror accounting: the arena's flat arrays at their true
+     size, plus an estimate for boxed mirrors (one word per cell plus
+     a small per-state overhead) and the per-mirror handles. *)
+  let mirror_bytes =
+    let boxed_words = ref 0 in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun m ->
+            match St.backing_arena m with
+            | Some _ -> ()
+            | None -> boxed_words := !boxed_words + St.height m + 4)
+          row)
+      mirrors;
+    let arena_bytes = match marena with Some a -> Cellpack.bytes a | None -> 0 in
+    arena_bytes + (8 * (!boxed_words + (8 * nchan)))
+  in
   let stats =
     {
       deliveries = c.deliveries;
@@ -586,16 +883,18 @@ let run_impl ~indexed ?(encoding = Delta) ?budget ?max_events
       reordered_messages = c.reordered;
       duplicated_messages = c.duplicated;
       corruption_events = c.corruptions;
+      peak_queued_bits = !peak_queued_bits;
+      mirror_bytes;
       quiescent = outcome = Budget.Completed;
       outcome;
     }
   in
   (Config.with_states config states, stats)
 
-let run ?encoding ?budget ?max_events ?proof ?heartbeat_every ?now ?chaos ~rng
-    ?corrupt_mirrors ?sinks params config =
-  run_impl ~indexed:true ?encoding ?budget ?max_events ?proof ?heartbeat_every
-    ?now ?chaos ~rng ?corrupt_mirrors ?sinks params config
+let run ?codec ?layout ?encoding ?budget ?max_events ?proof ?heartbeat_every
+    ?now ?chaos ~rng ?corrupt_mirrors ?sinks params config =
+  run_impl ~indexed:true ?codec ?layout ?encoding ?budget ?max_events ?proof
+    ?heartbeat_every ?now ?chaos ~rng ?corrupt_mirrors ?sinks params config
 
 let run_naive ?encoding ?budget ?max_events ?proof ?heartbeat_every ?now ~rng
     ?corrupt_mirrors ?sinks params config =
@@ -621,5 +920,7 @@ let report ?(label = "msgnet-run") ?seed ?wall_s ?timebase (s : stats) =
          reordered_messages = s.reordered_messages;
          duplicated_messages = s.duplicated_messages;
          corruption_events = s.corruption_events;
+         peak_queued_bits = s.peak_queued_bits;
+         mirror_bytes = s.mirror_bytes;
          total_bits = total_bits s;
        })

@@ -50,6 +50,14 @@ type encoding =
 type msg_kind = K_update | K_proof | K_request | K_full_copy
 (** Wire-level message class, as seen by event sinks. *)
 
+type layout = [ `Auto | `Packed | `Boxed ]
+(** Mirror storage policy, mirroring the engine's [--layout]
+    (DESIGN.md §12, §15).  [`Auto] packs all [2m] mirrors into one
+    {!Ss_core.Cellpack} arena exactly when the run has both a [codec]
+    and a finite transformer bound; [`Packed] demands it (raising
+    [Invalid_argument] when either is missing); [`Boxed] keeps the
+    historical per-mirror buffers. *)
+
 type event =
   | Sent of { src : int; dst : int; kind : msg_kind; bits : int }
       (** A message was enqueued on the [src → dst] channel; [bits] is
@@ -117,6 +125,16 @@ type stats = {
       (** Messages delivered while a copy stayed at the channel head. *)
   corruption_events : int;
       (** Scheduled mid-run transient corruptions applied. *)
+  peak_queued_bits : int;
+      (** High-water mark of in-flight wire bits: bits enter on send and
+          leave on delivery or drop, so this is the protocol's peak
+          channel-buffer load — the figure a deployment would provision
+          per-link buffers against. *)
+  mirror_bytes : int;
+      (** Resident bytes behind the [2m] mirrors at the end of the run:
+          the packed arena's flat arrays when mirrors are packed, an
+          estimate (one word per cell plus a small per-state overhead)
+          for boxed mirrors, plus the per-mirror handles. *)
   quiescent : bool;  (** Reached verified quiescence within the budget.
                          Equivalent to [outcome = Completed]. *)
   outcome : Ss_report.Budget.outcome;
@@ -139,7 +157,22 @@ val canonical_bytes : 's Ss_core.Trans_state.t -> string
     and the encoding measured by [Full_copy]/[Update_full] byte
     accounting. *)
 
+val codec_bytes : 's Ss_core.Cellpack.codec -> 's Ss_core.Trans_state.t -> string
+(** Codec proof pre-image: the same logical content as
+    {!canonical_bytes} — status byte, then init and each cell as the
+    codec's fixed-width little-endian words — but written through the
+    algorithm's {!Ss_core.Cellpack} codec with no boxed snapshot and no
+    [Marshal] walk.  Because the byte length determines the height, the
+    first byte the status, and the per-cell word image is injective
+    (unpack inverts pack), two states map to equal bytes iff their
+    snapshots are equal: proof waves may hash either encoding and reach
+    the same verdicts.  [run ~codec] uses this encoder (through a
+    reused buffer) for every proof pre-image; this entry point is the
+    allocation-honest version for tests. *)
+
 val run :
+  ?codec:'s Ss_core.Cellpack.codec ->
+  ?layout:layout ->
   ?encoding:encoding ->
   ?budget:Ss_report.Budget.t ->
   ?max_events:int ->
@@ -191,9 +224,23 @@ val run :
     [Completed] still certifies a terminal configuration even under
     faults.
 
+    [codec] switches every proof pre-image from the [Marshal]
+    reference encoding to the algorithm's {!codec_bytes} encoding
+    (equality-equivalent, so proof verdicts are unchanged) and
+    int-packs [D_ru] payload cells onto the wire rings.  [layout]
+    (default [`Auto]) selects the mirror backing per {!type-layout}.
+    Pre-images are additionally memoized by the state's §10 version
+    stamp, so a proof wave only re-encodes states and mirrors that
+    changed since the last wave.
+
     Each event costs O(1) amortized in the number of channels: pending
-    links come from the maintained {!Chanset} rather than a full
-    channel scan.  Differentially tested against {!run_naive}. *)
+    links come from the maintained {!Chanset}, pending messages live
+    int-packed in per-link {!Ringbuf} rings (boxed variants in a
+    FIFO-aligned side queue), and the drained-channel guard scan is
+    replaced by a dirty-candidate set — nodes whose state or mirrors
+    changed since their guards last evaluated disabled — picked by
+    rejection sampling, which preserves the uniform choice over
+    enabled nodes.  Differentially tested against {!run_naive}. *)
 
 val run_naive :
   ?encoding:encoding ->
@@ -209,11 +256,14 @@ val run_naive :
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t ->
   ('s Ss_core.Trans_state.t, 'i) Ss_sim.Config.t * stats
 (** Reference event loop: identical protocol, but with the historical
-    per-event costs — every event rebuilds the pending-link list with
-    a [Hashtbl.fold] over all [2m] channels, every send and delivery
-    resolves its queue through a tuple-keyed hash lookup, and every
-    delivery re-derives the receiver-side port with an O(degree)
-    [Graph.port_of] scan.  The random link choice consumes the rng
+    per-event costs and representations — every event rebuilds the
+    pending-link list with a [Hashtbl.fold] over all [2m] channels,
+    every send and delivery resolves its boxed [Queue.t] through a
+    tuple-keyed hash lookup, every delivery re-derives the
+    receiver-side port with an O(degree) [Graph.port_of] scan, every
+    drained-channel event scans all [n] guards, mirrors stay boxed,
+    and proof pre-images are [Marshal] dumps ({!canonical_bytes}).
+    The random link choice consumes the rng
     differently from {!run}, so the two produce different (equally
     valid) interleavings; both must reach the same terminal states.
     Kept for differential testing and benchmarking.  Deliberately takes

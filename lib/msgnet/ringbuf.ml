@@ -1,0 +1,70 @@
+(* Chunked circular buffer of variable-length int records — the flat
+   channel storage behind the indexed message-network loop.
+
+   Each record is stored as [length; payload...] in a power-of-two
+   circular int array that doubles on overflow, so a channel queue
+   costs a handful of flat words per pending message instead of a
+   boxed [Queue.t] cell plus a boxed message variant (and, for proofs,
+   two boxed [Int64]s).  The payload words carry the caller's own
+   encoding; this module only frames them FIFO. *)
+
+type t = {
+  mutable data : int array;  (* power-of-two capacity *)
+  mutable head : int;  (* index of the first queued word *)
+  mutable used : int;  (* queued words, record headers included *)
+  mutable count : int;  (* queued records *)
+}
+
+(* Small initial capacity: a run allocates one ring per directed link
+   (2m of them), most of which are near-empty most of the time. *)
+let initial_capacity = 8
+
+let create () =
+  { data = Array.make initial_capacity 0; head = 0; used = 0; count = 0 }
+
+let records t = t.count
+let is_empty t = t.count = 0
+let words t = t.used
+let capacity_words t = Array.length t.data
+
+let grow t needed =
+  let cap = Array.length t.data in
+  let cap' = ref (2 * cap) in
+  while !cap' < t.used + needed do
+    cap' := 2 * !cap'
+  done;
+  let data = Array.make !cap' 0 in
+  (* Unroll the circular layout into the fresh array. *)
+  let tail_len = min t.used (cap - t.head) in
+  Array.blit t.data t.head data 0 tail_len;
+  Array.blit t.data 0 data tail_len (t.used - tail_len);
+  t.data <- data;
+  t.head <- 0
+
+let push t src len =
+  if len < 0 || len > Array.length src then invalid_arg "Ringbuf.push";
+  if t.used + len + 1 > Array.length t.data then grow t (len + 1);
+  let mask = Array.length t.data - 1 in
+  let w = (t.head + t.used) land mask in
+  t.data.(w) <- len;
+  for i = 0 to len - 1 do
+    t.data.((w + 1 + i) land mask) <- src.(i)
+  done;
+  t.used <- t.used + len + 1;
+  t.count <- t.count + 1
+
+let peek t dst =
+  if t.count = 0 then invalid_arg "Ringbuf.peek: empty";
+  let mask = Array.length t.data - 1 in
+  let len = t.data.(t.head) in
+  for i = 0 to len - 1 do
+    dst.(i) <- t.data.((t.head + 1 + i) land mask)
+  done;
+  len
+
+let pop t dst =
+  let len = peek t dst in
+  t.head <- (t.head + len + 1) land (Array.length t.data - 1);
+  t.used <- t.used - len - 1;
+  t.count <- t.count - 1;
+  len

@@ -1,0 +1,41 @@
+(** Chunked circular buffers of variable-length int records — the
+    flat FIFO storage behind the indexed message-network channels
+    (DESIGN.md §15).
+
+    A record is a caller-encoded span of machine words; the buffer
+    frames records as [length; payload...] in a power-of-two circular
+    int array that doubles on overflow.  Pending messages therefore
+    cost flat unboxed words instead of a [Queue.t] cell plus a boxed
+    variant, which removes both the per-message allocation and the GC
+    scanning of the 2m channel queues at 10^5–10^6-node scale. *)
+
+type t
+
+val create : unit -> t
+(** A fresh empty buffer with a few words of capacity. *)
+
+val records : t -> int
+(** Number of queued records. *)
+
+val is_empty : t -> bool
+
+val words : t -> int
+(** Queued words, record headers included — wire-memory accounting. *)
+
+val capacity_words : t -> int
+(** Current backing capacity in words (resident footprint). *)
+
+val push : t -> int array -> int -> unit
+(** [push t src len] enqueues the record [src.(0 .. len-1)] (copied).
+    Amortized O(len); doubles the backing array when full.
+    @raise Invalid_argument when [len] is negative or exceeds
+    [Array.length src]. *)
+
+val peek : t -> int array -> int
+(** [peek t dst] copies the head record's payload into
+    [dst.(0 .. len-1)] and returns its length [len], without
+    dequeuing.  [dst] must be large enough.
+    @raise Invalid_argument on an empty buffer. *)
+
+val pop : t -> int array -> int
+(** [pop t dst] is {!peek} followed by dequeuing the head record. *)

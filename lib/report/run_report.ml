@@ -23,6 +23,8 @@ type msgnet_stats = {
   reordered_messages : int;
   duplicated_messages : int;
   corruption_events : int;
+  peak_queued_bits : int;
+  mirror_bytes : int;
   total_bits : int;
 }
 
@@ -86,6 +88,8 @@ let json_of_msgnet (m : msgnet_stats) =
       ("reordered_messages", Json.Int m.reordered_messages);
       ("duplicated_messages", Json.Int m.duplicated_messages);
       ("corruption_events", Json.Int m.corruption_events);
+      ("peak_queued_bits", Json.Int m.peak_queued_bits);
+      ("mirror_bytes", Json.Int m.mirror_bytes);
       ("total_bits", Json.Int m.total_bits);
     ]
 
@@ -174,6 +178,9 @@ let msgnet_of_json json =
   let* reordered_messages = opt_int_field "reordered_messages" json in
   let* duplicated_messages = opt_int_field "duplicated_messages" json in
   let* corruption_events = opt_int_field "corruption_events" json in
+  (* Wire-memory accounting joined later still; same back-compat rule. *)
+  let* peak_queued_bits = opt_int_field "peak_queued_bits" json in
+  let* mirror_bytes = opt_int_field "mirror_bytes" json in
   let* total_bits = int_field "total_bits" json in
   Ok
     (Msgnet
@@ -193,6 +200,8 @@ let msgnet_of_json json =
          reordered_messages;
          duplicated_messages;
          corruption_events;
+         peak_queued_bits;
+         mirror_bytes;
          total_bits;
        })
 

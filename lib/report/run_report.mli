@@ -45,6 +45,13 @@ type msgnet_stats = {
       (** Messages delivered while a copy stayed queued. *)
   corruption_events : int;
       (** Mid-run transient state corruptions injected. *)
+  peak_queued_bits : int;
+      (** High-water mark of in-flight wire bits across all channels.
+          Absent in pre-wire-memory archives; reads as zero. *)
+  mirror_bytes : int;
+      (** Resident bytes behind the mirrors at the end of the run
+          (packed arena or boxed estimate, handles included).  Absent
+          in older archives; reads as zero. *)
   total_bits : int;
 }
 

@@ -313,7 +313,7 @@ let test_differential_bfs () =
       (Transformer.clean_config params g ~inputs)
   in
   assert_differential ~msg:"bfs/random10"
-    ~pins:[ (1, 0, 0, 0, 0); (2, 1, 0, 0, 0); (3, 0, 0, 0, 0) ]
+    ~pins:[ (1, 0, 0, 1, 0); (2, 1, 0, 0, 0); (3, 0, 0, 0, 0) ]
     ~params ~inputs ~hist ~max_height start
 
 let test_differential_cv () =
@@ -329,7 +329,7 @@ let test_differential_cv () =
       (Transformer.clean_config params g ~inputs)
   in
   assert_differential ~msg:"cv/cycle9"
-    ~pins:[ (1, 0, 0, 1, 0); (2, 1, 0, 0, 0); (3, 0, 0, 0, 0) ]
+    ~pins:[ (1, 0, 0, 0, 0); (2, 1, 0, 0, 0); (3, 0, 0, 0, 0) ]
     ~params ~inputs ~hist ~max_height:b start
 
 let () =

@@ -265,6 +265,292 @@ let test_greedy_cv_over_message_passing () =
   check "proper 3-coloring" true
     (Ss_algos.Cole_vishkin.spec_holds g ~final:(Transformer.outputs final))
 
+(* ------------------------------------------------------------------ *)
+(* Ringbuf: the flat channel storage (DESIGN.md §15)                    *)
+(* ------------------------------------------------------------------ *)
+
+module Ringbuf = Ss_msgnet.Ringbuf
+
+let test_ringbuf_fifo_growth () =
+  let r = Ringbuf.create () in
+  let record i = Array.init (1 + (i mod 5)) (fun j -> (i * 31) + j) in
+  for i = 0 to 199 do
+    let src = record i in
+    Ringbuf.push r src (Array.length src)
+  done;
+  check_int "records queued" 200 (Ringbuf.records r);
+  let dst = Array.make 8 0 in
+  for i = 0 to 199 do
+    let expect = record i in
+    let len = Ringbuf.pop r dst in
+    check_int (Printf.sprintf "record %d length" i) (Array.length expect) len;
+    check (Printf.sprintf "record %d payload" i) true
+      (Array.sub dst 0 len = expect)
+  done;
+  check "drained" true (Ringbuf.is_empty r)
+
+let test_ringbuf_wraparound () =
+  (* Interleaved push/pop walks the head around the circular array many
+     times at near-constant occupancy, crossing the wrap point without
+     triggering growth. *)
+  let r = Ringbuf.create () in
+  let dst = Array.make 4 0 in
+  let next_push = ref 0 and next_pop = ref 0 in
+  let push () =
+    let i = !next_push in
+    incr next_push;
+    Ringbuf.push r [| i; i + 1 |] 2
+  in
+  let pop () =
+    let i = !next_pop in
+    incr next_pop;
+    let len = Ringbuf.pop r dst in
+    check_int "wrap length" 2 len;
+    check "wrap payload" true (dst.(0) = i && dst.(1) = i + 1)
+  in
+  push ();
+  for _ = 1 to 500 do
+    push ();
+    pop ()
+  done;
+  pop ();
+  check "empty after interleave" true (Ringbuf.is_empty r);
+  check_int "no words left" 0 (Ringbuf.words r)
+
+let test_ringbuf_peek_and_validation () =
+  let r = Ringbuf.create () in
+  Ringbuf.push r [| 7; 8 |] 2;
+  let dst = Array.make 2 0 in
+  check_int "peek length" 2 (Ringbuf.peek r dst);
+  check_int "peek leaves the record" 1 (Ringbuf.records r);
+  check_int "pop length" 2 (Ringbuf.pop r dst);
+  check "peek saw the pop's payload" true (dst.(0) = 7 && dst.(1) = 8);
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check "negative length rejected" true
+    (raises (fun () -> Ringbuf.push r [| 1 |] (-1)));
+  check "length past the source rejected" true
+    (raises (fun () -> Ringbuf.push r [| 1 |] 2));
+  check "peek on empty rejected" true (raises (fun () -> Ringbuf.peek r dst))
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate topologies: n = 0, n = 1, edgeless                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_graph () =
+  (* Zero nodes, zero channels: both loops must declare quiescence on
+     the first probe wave instead of dividing by a zero channel count
+     or indexing an empty arena. *)
+  let g = Graph.of_adjacency [||] in
+  let params = Transformer.params Min_flood.algo in
+  let inputs _ = 0 in
+  let config = Transformer.clean_config params g ~inputs in
+  let _, stats = M.run ~rng:(Rng.create 1) params config in
+  check "n = 0 quiescent" true stats.M.quiescent;
+  check_int "n = 0 delivers nothing" 0 stats.M.deliveries;
+  check_int "n = 0 peak wire load" 0 stats.M.peak_queued_bits;
+  let _, nstats = M.run_naive ~rng:(Rng.create 1) params config in
+  check "naive n = 0 quiescent" true nstats.M.quiescent
+
+let test_singleton_and_edgeless () =
+  let params = Transformer.params Min_flood.algo in
+  List.iter
+    (fun (name, g) ->
+      let inputs p = (p * 13 mod 7) + 1 in
+      let hist = Sync_runner.run Min_flood.algo g ~inputs in
+      let rng = Rng.create 7 in
+      let start =
+        Transformer.corrupt rng
+          ~max_height:(hist.Sync_runner.t + 4)
+          params
+          (Transformer.clean_config params g ~inputs)
+      in
+      let final, stats = M.run ~rng params start in
+      check (name ^ " quiescent") true stats.M.quiescent;
+      check (name ^ " legitimate") true
+        (Checker.legitimate_terminal params hist final = Ok ());
+      (* No links: no update, proof, or repair message can ever exist. *)
+      check_int (name ^ " sends nothing") 0
+        (stats.M.update_messages + stats.M.proof_messages
+        + stats.M.request_messages + stats.M.full_copy_messages);
+      (* The heartbeat timer must be harmless with zero channels even
+         at its tightest legal period. *)
+      let _, hb = M.run ~heartbeat_every:1 ~rng:(Rng.create 8) params start in
+      check (name ^ " tight heartbeat still quiescent") true hb.M.quiescent;
+      let nfinal, nstats = M.run_naive ~rng:(Rng.create 9) params start in
+      check (name ^ " naive twin quiescent") true nstats.M.quiescent;
+      check (name ^ " naive twin agrees") true
+        (Transformer.outputs nfinal = Transformer.outputs final))
+    [
+      ("singleton", Graph.of_adjacency [| [||] |]);
+      ("edgeless-4", Graph.of_adjacency (Array.init 4 (fun _ -> [||])));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec proof pre-images (DESIGN.md §15)                               *)
+(* ------------------------------------------------------------------ *)
+
+module St = Core.Trans_state
+module Cellpack = Ss_core.Cellpack
+module Cv = Ss_algos.Cole_vishkin
+
+let cv_cell k = { Cv.color = k land 0xFF; round = (k lsr 8) land 0xF }
+
+let cv_equal a b = a.Cv.color = b.Cv.color && a.Cv.round = b.Cv.round
+
+(* Interpret an op list as a build history.  Decisions depend only on
+   the logical height, so the same list drives a boxed and an
+   arena-backed replica through identical logical histories. *)
+let apply_ops ~cap st ops =
+  List.fold_left
+    (fun st op ->
+      let op = abs op in
+      match op mod 4 with
+      | 0 ->
+          if St.height st >= cap then St.truncate st (St.height st / 2)
+          else St.extend st (cv_cell (op / 4))
+      | 1 -> St.truncate st (op / 4 mod (St.height st + 1))
+      | 2 -> St.with_status st (if op land 4 = 0 then St.C else St.E)
+      | _ -> St.wipe st)
+    st ops
+
+let codec_qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:300
+      ~name:"codec bytes agree with the Marshal reference on equality"
+      (pair (small_list small_int) (small_list small_int))
+      (fun (ops_a, ops_b) ->
+        let cap = 12 in
+        let init = cv_cell 3 in
+        let build ops =
+          apply_ops ~cap (St.make ~init ~status:St.C ~cells:[||]) ops
+        in
+        let a = build ops_a and b = build ops_b in
+        let ca = M.codec_bytes Cv.codec a and cb = M.codec_bytes Cv.codec b in
+        let agree_with_marshal =
+          ca = cb = (M.canonical_bytes a = M.canonical_bytes b)
+        in
+        let agree_with_equality = ca = cb = St.equal cv_equal a b in
+        (* An arena-backed replica of the same history encodes to the
+           same bytes as its boxed twin (aliasing/extension/truncation
+           idiosyncrasies of either backend never reach the wire). *)
+        let arena = Cellpack.arena ~codec:Cv.codec ~n:1 ~cap:(cap + 4) in
+        let packed =
+          apply_ops ~cap
+            (St.rebuild
+               (St.packed_clean arena ~node:0 ~init)
+               ~status:St.C ~cells:[||])
+            ops_a
+        in
+        agree_with_marshal && agree_with_equality
+        && M.codec_bytes Cv.codec packed = ca);
+  ]
+
+let test_codec_run_differential_cv () =
+  (* Cole-Vishkin has a codec and a finite bound, so [`Auto] packs the
+     mirrors.  Same rng, same schedule: serialization is off the draw
+     path and the codec encoding is equality-equivalent to Marshal, so
+     the codec run's stats must be *identical* to the Marshal run's —
+     except [mirror_bytes], which measures the different backing. *)
+  List.iter
+    (fun seed ->
+      let rng0 = Rng.create (23 + seed) in
+      let n = 9 and width = 6 in
+      let g = Builders.cycle n in
+      let ids = Cv.random_ring_ids rng0 ~n ~width in
+      let inputs = Cv.inputs ~ids ~width g in
+      let b = Cv.schedule_length width in
+      let params =
+        Transformer.params ~mode:Ss_core.Predicates.Greedy
+          ~bound:(Ss_core.Predicates.Finite b)
+          Cv.algo
+      in
+      let hist = Sync_runner.run Cv.algo g ~inputs in
+      let start =
+        Transformer.corrupt rng0 ~max_height:b params
+          (Transformer.clean_config params g ~inputs)
+      in
+      let run codec layout =
+        M.run ?codec ?layout ~rng:(Rng.create ((seed * 7) + 1)) params start
+      in
+      let final_m, sm = run None None in
+      let final_c, sc = run (Some Cv.codec) None in
+      let final_b, sb = run (Some Cv.codec) (Some `Boxed) in
+      let m = Printf.sprintf "cv seed %d" seed in
+      check (m ^ ": codec run quiescent") true sc.M.quiescent;
+      check (m ^ ": codec stats identical modulo mirror bytes") true
+        ({ sc with M.mirror_bytes = 0 } = { sm with M.mirror_bytes = 0 });
+      check (m ^ ": boxed-layout codec stats identical") true
+        ({ sb with M.mirror_bytes = 0 } = { sm with M.mirror_bytes = 0 });
+      check (m ^ ": same outputs across encodings") true
+        (Transformer.outputs final_c = Transformer.outputs final_m
+        && Transformer.outputs final_b = Transformer.outputs final_m);
+      check (m ^ ": legitimate") true
+        (Checker.legitimate_terminal params hist final_c = Ok ());
+      (* The naive twin draws differently (different interleaving) but
+         must land on the same terminal states. *)
+      let final_n, sn =
+        M.run_naive ~rng:(Rng.create ((seed * 7) + 1)) params start
+      in
+      check (m ^ ": naive twin agrees") true
+        (sn.M.quiescent
+        && Transformer.outputs final_n = Transformer.outputs final_c))
+    [ 1; 2; 3 ]
+
+let test_codec_run_differential_infinite_bound () =
+  (* Leader election and BFS export codecs but run under an infinite
+     bound: [`Auto] keeps mirrors boxed while the codec still replaces
+     every proof pre-image.  Here even [mirror_bytes] must match. *)
+  List.iter
+    (fun seed ->
+      (* leader *)
+      let _, _, _, params, hist, start = setting seed in
+      let run codec =
+        M.run ?codec ~rng:(Rng.create ((seed * 31) + 5)) params start
+      in
+      let final_m, sm = run None in
+      let final_c, sc = run (Some Leader.codec) in
+      let m = Printf.sprintf "leader seed %d" seed in
+      check (m ^ ": stats fully identical") true (sc = sm);
+      check (m ^ ": outputs equal") true
+        (Transformer.outputs final_c = Transformer.outputs final_m);
+      check (m ^ ": legitimate") true
+        (Checker.legitimate_terminal params hist final_c = Ok ());
+      (* bfs *)
+      let rng = Rng.create (19 + seed) in
+      let g = Builders.random_connected rng ~n:10 ~extra_edges:4 in
+      let inputs = Ss_algos.Bfs_tree.inputs g ~root:0 in
+      let bparams = Transformer.params Ss_algos.Bfs_tree.algo in
+      let bhist = Sync_runner.run Ss_algos.Bfs_tree.algo g ~inputs in
+      let bstart =
+        Transformer.corrupt rng
+          ~max_height:(bhist.Sync_runner.t + 4)
+          bparams
+          (Transformer.clean_config bparams g ~inputs)
+      in
+      let brun codec =
+        M.run ?codec ~rng:(Rng.create ((seed * 31) + 6)) bparams bstart
+      in
+      let bfinal_m, bsm = brun None in
+      let bfinal_c, bsc = brun (Some Ss_algos.Bfs_tree.codec) in
+      let m = Printf.sprintf "bfs seed %d" seed in
+      check (m ^ ": stats fully identical") true (bsc = bsm);
+      check (m ^ ": outputs equal") true
+        (Transformer.outputs bfinal_c = Transformer.outputs bfinal_m))
+    [ 1; 2; 3 ]
+
+let test_packed_layout_validation () =
+  let _, _, _, params, _, start = setting 2 in
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  (* leader runs under an infinite bound and here without a codec *)
+  check "packed layout without a codec rejected" true
+    (raises (fun () ->
+         M.run ~layout:`Packed ~rng:(Rng.create 1) params start));
+  check "packed layout with an infinite bound rejected" true
+    (raises (fun () ->
+         M.run ~layout:`Packed ~codec:Leader.codec ~rng:(Rng.create 1) params
+           start))
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -308,5 +594,29 @@ let () =
           Alcotest.test_case "greedy CV over message passing" `Quick
             test_greedy_cv_over_message_passing;
         ] );
+      ( "ringbuf",
+        [
+          Alcotest.test_case "FIFO across growth" `Quick
+            test_ringbuf_fifo_growth;
+          Alcotest.test_case "wraparound" `Quick test_ringbuf_wraparound;
+          Alcotest.test_case "peek and validation" `Quick
+            test_ringbuf_peek_and_validation;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "singleton and edgeless" `Quick
+            test_singleton_and_edgeless;
+        ] );
+      ( "codec",
+        List.map QCheck_alcotest.to_alcotest codec_qcheck_tests
+        @ [
+            Alcotest.test_case "run differential: cv (packed)" `Quick
+              test_codec_run_differential_cv;
+            Alcotest.test_case "run differential: infinite bound" `Quick
+              test_codec_run_differential_infinite_bound;
+            Alcotest.test_case "packed layout validation" `Quick
+              test_packed_layout_validation;
+          ] );
       ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

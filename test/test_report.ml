@@ -194,6 +194,8 @@ let reports =
            reordered_messages = 0;
            duplicated_messages = 0;
            corruption_events = 0;
+           peak_queued_bits = 512;
+           mirror_bytes = 4096;
            total_bits = 2600;
          });
     (* A chaos-mode report: non-zero fault counters and virtual time. *)
@@ -216,6 +218,8 @@ let reports =
            reordered_messages = 33;
            duplicated_messages = 29;
            corruption_events = 3;
+           peak_queued_bits = 70944;
+           mirror_bytes = 52000;
            total_bits = 44000;
          });
   ]
